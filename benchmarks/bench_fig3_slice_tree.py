@@ -1,0 +1,44 @@
+"""Figure 3: the slice tree for the pharmacy problem load.
+
+Builds the tree from a real execution trace and verifies the published
+structure: one root, a shared suffix, a fork into the two computation
+arms (paper #04 / #06), induction-unroll nodes below each arm, and the
+``DCpt-cm(parent) = sum(children)`` invariant everywhere.
+"""
+
+from benchmarks.conftest import run_once
+from repro.engine import run_program
+from repro.slicing import build_slice_trees
+from repro.workloads import pharmacy
+from repro.workloads.common import SUITE_HIERARCHY
+
+
+def build_tree():
+    program = pharmacy.build(**pharmacy.INPUTS["train"])
+    result = run_program(program, SUITE_HIERARCHY)
+    trees = build_slice_trees(result.trace, scope=1024, max_length=24)
+    return program, trees[pharmacy.PROBLEM_LOAD_PC]
+
+
+def test_fig3_slice_tree(benchmark, save_report):
+    program, tree = run_once(benchmark, build_tree)
+    tree.check_invariants()
+    save_report(
+        "fig3_slice_tree",
+        "Figure 3: slice tree (pharmacy problem load)\n"
+        "============================================\n"
+        + tree.render(program, max_depth=7)
+        + f"\n\nnodes={tree.num_nodes()} depth={tree.max_depth()} "
+        f"misses={tree.total_misses()}",
+    )
+    # The two-arm fork below the shared suffix (addi + slli).
+    node = tree.root
+    for _ in range(2):
+        assert len(node.children) == 1
+        node = next(iter(node.children.values()))
+    assert len(node.children) == 2
+    arms = sorted(node.children.values(), key=lambda n: n.visits, reverse=True)
+    # The #04 (PARTIAL) arm carries roughly 3x the #06 (GENERIC) misses.
+    assert arms[0].visits > arms[1].visits
+    # Parent DCpt-cm equals the sum over the arms.
+    assert node.visits == arms[0].visits + arms[1].visits + node.truncated

@@ -1,0 +1,23 @@
+"""Table 1: benchmark characterization.
+
+Instructions, loads, L2 misses, unassisted IPC and perfect-L2 IPC for
+every workload in the suite — the analogue of the paper's Table 1.
+Shape checks: the suite must span the paper's spread (mcf most
+miss-bound, crafty least; perfect-L2 never below baseline).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.tables import render_table1, table1
+
+
+def test_table1_characterization(benchmark, runner, workloads, save_report):
+    rows = run_once(benchmark, lambda: table1(runner, workloads=workloads))
+    save_report("table1_characterization", render_table1(rows))
+    by_name = {row.name: row for row in rows}
+    for row in rows:
+        assert row.perfect_l2_ipc >= row.ipc * 0.99
+        assert 0 < row.loads < row.instructions
+    if {"mcf", "crafty"} <= set(by_name):
+        miss_rate = lambda r: r.l2_misses / r.instructions
+        assert miss_rate(by_name["mcf"]) > miss_rate(by_name["crafty"])
+        assert by_name["mcf"].ipc < by_name["crafty"].ipc

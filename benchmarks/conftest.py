@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+One :class:`~repro.harness.experiment.ExperimentRunner` is shared by
+every bench module so traces and baselines are computed once per
+(workload, input, hierarchy, machine) across the whole session.
+
+Every bench writes its regenerated table/figure to ``results/`` (and
+echoes it to stdout) so EXPERIMENTS.md can reference concrete numbers.
+
+Environment knobs:
+    REPRO_BENCH_WORKLOADS  comma-separated subset of the suite (default
+                           all ten benchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+from repro.workloads.suite import SUITE
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def workloads() -> list:
+    requested = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if not requested:
+        return list(SUITE)
+    names = [name.strip() for name in requested.split(",") if name.strip()]
+    unknown = set(names) - set(SUITE) - {"pharmacy"}
+    if unknown:
+        raise ValueError(f"unknown workloads: {sorted(unknown)}")
+    return names
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

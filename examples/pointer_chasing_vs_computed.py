@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Why program structure decides pre-execution's fate.
+
+The paper's central observation: "maximum pre-execution effectiveness
+and the p-threads required to achieve it are a function of program
+structure."  This example contrasts the two extremes of the suite:
+
+* ``mcf`` — serial pointer chasing.  Every miss's address is the value
+  of the previous miss; a p-thread mimicking the chain serializes
+  through the same misses, so there is almost no sequencing advantage
+  to exploit and full coverage stays low.
+* ``vpr.p`` — register-computed addresses.  The block index comes from
+  a multiplicative generator living entirely in registers; a p-thread
+  can run the generator arbitrarily far ahead at one ``mul`` per
+  iteration of lookahead, so coverage is nearly total.
+
+Run:
+    python examples/pointer_chasing_vs_computed.py
+"""
+
+from repro import ExperimentConfig, ExperimentRunner
+from repro.workloads import pharmacy
+
+
+def show(result) -> None:
+    selection = result.selection
+    print(f"  baseline IPC      : {result.baseline.ipc:.3f}")
+    print(f"  pre-exec IPC      : {result.preexec.ipc:.3f} "
+          f"({result.speedup:+.1%})")
+    print(f"  L2 misses         : {result.preexec.l2_misses}")
+    print(f"  covered           : {result.coverage:.1%} "
+          f"(full {result.full_coverage:.1%})")
+    print(f"  static p-threads  : {len(selection.pthreads)}")
+    if selection.pthreads:
+        main = max(
+            selection.pthreads, key=lambda p: p.prediction.misses_covered
+        )
+        loads = sum(1 for i in main.body.instructions if i.is_load)
+        print(f"  main p-thread     : {main.size} instructions, "
+              f"{loads} of them loads")
+        print("\n  body of the dominant p-thread:")
+        print(main.body.render())
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+
+    print("=" * 70)
+    print("mcf analogue: serial pointer chains (the hard case)")
+    print("=" * 70)
+    show(runner.run(ExperimentConfig(workload="mcf")))
+
+    print()
+    print("=" * 70)
+    print("vpr.p analogue: register-computed addresses (the easy case)")
+    print("=" * 70)
+    show(runner.run(ExperimentConfig(workload="vpr.p")))
+
+    print()
+    print("=" * 70)
+    print("takeaway")
+    print("=" * 70)
+    print(
+        "mcf's p-thread is itself a chain of loads — each unrolling\n"
+        "level adds a serial miss to the p-thread's own critical path,\n"
+        "so lookahead cannot grow.  vpr.p's p-thread adds one 3-cycle\n"
+        "multiply per level while the main thread spends a whole\n"
+        "iteration, so lookahead grows with every instruction the\n"
+        "length budget allows.  The framework discovers both facts\n"
+        "from raw statistics, with no special-casing."
+    )
+
+
+if __name__ == "__main__":
+    main()

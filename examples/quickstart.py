@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: run the whole pre-execution pipeline on one workload.
+
+This walks the paper's tool flow end to end on the pharmacy example
+(Figure 1): trace the program, build slice trees for its L2 misses,
+select static p-threads with aggregate advantage, and measure them in
+the timing simulator.
+
+Run:
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro import ExperimentConfig, ExperimentRunner
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "pharmacy"
+    runner = ExperimentRunner()
+    print(f"Running the full pipeline on {workload!r} ...\n")
+    result = runner.run(ExperimentConfig(workload=workload, validate=True))
+
+    print("Selected static p-threads")
+    print("-------------------------")
+    print(result.selection.describe())
+    for pthread in result.selection.pthreads:
+        print(f"\ntrigger #{pthread.trigger_pc:04d}:")
+        print(pthread.body.render())
+
+    print("\nSimulation")
+    print("----------")
+    print(result.baseline.describe())
+    print(result.preexec.describe())
+    for name, stats in result.validation.items():
+        print(stats.describe())
+
+    print(
+        f"\nspeedup {result.speedup:+.1%}  "
+        f"coverage {result.coverage:.1%} "
+        f"(full {result.full_coverage:.1%})  "
+        f"overhead {result.preexec.instruction_overhead:.1%} "
+        "p-thread instructions per retired instruction"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's artifacts::
+
+    python -m repro run pharmacy          # full pipeline on one workload
+    python -m repro table1                # benchmark characterization
+    python -m repro table2 --workloads mcf,vpr.r
+    python -m repro figure 4              # scope x length sweep
+    python -m repro branches vpr.p        # branch pre-execution
+
+Sweeps accept ``--workloads`` to restrict the suite.  Everything prints
+to stdout in the same fixed-width format the benches write to
+``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.harness.experiment import ExperimentConfig, ExperimentRunner
+from repro.harness.figures import (
+    figure4_scope_length,
+    figure5_opt_merge,
+    figure6_granularity,
+    figure7_input_sets,
+    figure8_memory_latency,
+    figure8b_processor_width,
+)
+from repro.harness.tables import render_table1, render_table2, table1, table2
+from repro.workloads.suite import SUITE
+
+_FIGURES = {
+    "4": figure4_scope_length,
+    "5": figure5_opt_merge,
+    "6": figure6_granularity,
+    "7": figure7_input_sets,
+    "8": figure8_memory_latency,
+    "8b": figure8b_processor_width,
+}
+
+
+def _parse_workloads(text: Optional[str]) -> List[str]:
+    if not text:
+        return list(SUITE)
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    unknown = set(names) - set(SUITE) - {"pharmacy"}
+    if unknown:
+        raise SystemExit(f"unknown workloads: {sorted(unknown)}")
+    return names
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    runner = ExperimentRunner()
+    result = runner.run(
+        ExperimentConfig(workload=args.workload, validate=args.validate)
+    )
+    print(result.selection.describe())
+    for pthread in result.selection.pthreads:
+        print(f"\ntrigger #{pthread.trigger_pc:04d}:")
+        print(pthread.body.render())
+    print()
+    print(result.baseline.describe())
+    print(result.preexec.describe())
+    for stats in result.validation.values():
+        print(stats.describe())
+    print(
+        f"\nspeedup {result.speedup:+.1%}  coverage {result.coverage:.1%} "
+        f"(full {result.full_coverage:.1%})"
+    )
+
+
+def _cmd_table(args: argparse.Namespace) -> None:
+    runner = ExperimentRunner()
+    workloads = _parse_workloads(args.workloads)
+    if args.which == "1":
+        print(render_table1(table1(runner, workloads=workloads)))
+    else:
+        print(render_table2(table2(runner, workloads=workloads)))
+
+
+def _cmd_figure(args: argparse.Namespace) -> None:
+    runner = ExperimentRunner()
+    workloads = _parse_workloads(args.workloads)
+    figure_fn = _FIGURES.get(args.which)
+    if figure_fn is None:
+        raise SystemExit(
+            f"unknown figure {args.which!r}; known: {sorted(_FIGURES)}"
+        )
+    print(figure_fn(runner, workloads=workloads).render())
+
+
+def _cmd_branches(args: argparse.Namespace) -> None:
+    from repro.engine import run_program
+    from repro.model import ModelParams, SelectionConstraints
+    from repro.selection import select_branch_pthreads
+    from repro.timing import BASELINE, PRE_EXECUTION, TimingSimulator
+    from repro.workloads import build
+
+    workload = build(args.workload, "train")
+    trace = run_program(workload.program, workload.hierarchy)
+    base = TimingSimulator(workload.program, workload.hierarchy).run(BASELINE)
+    params = ModelParams(
+        bw_seq=8,
+        unassisted_ipc=max(base.ipc, 0.05),
+        mem_latency=workload.hierarchy.mem_latency,
+        load_latency=workload.hierarchy.l1.hit_latency,
+    )
+    selection = select_branch_pthreads(
+        workload.program, trace.trace, params, SelectionConstraints()
+    )
+    print(selection.describe())
+    pre = TimingSimulator(
+        workload.program, workload.hierarchy, pthreads=selection.pthreads
+    ).run(PRE_EXECUTION)
+    print(base.describe())
+    print(pre.describe())
+    print(
+        f"mispredictions {pre.mispredictions}, suppressed "
+        f"{pre.mispredicts_covered}; speedup {pre.speedup_over(base):+.1%}"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Automated pre-execution thread selection (Roth & Sohi 2002) "
+            "— pipeline driver"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="full pipeline on one workload")
+    run_parser.add_argument("workload", choices=SUITE + ["pharmacy"])
+    run_parser.add_argument(
+        "--validate", action="store_true",
+        help="also run overhead-only / latency-only / perfect-L2 modes",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    for which in ("1", "2"):
+        table_parser = sub.add_parser(
+            f"table{which}", help=f"regenerate Table {which}"
+        )
+        table_parser.add_argument("--workloads", default=None)
+        table_parser.set_defaults(func=_cmd_table, which=which)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a figure")
+    figure_parser.add_argument("which", choices=sorted(_FIGURES))
+    figure_parser.add_argument("--workloads", default=None)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    branch_parser = sub.add_parser(
+        "branches", help="branch pre-execution on one workload"
+    )
+    branch_parser.add_argument("workload", choices=SUITE + ["pharmacy"])
+    branch_parser.set_defaults(func=_cmd_branches)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Functional execution engine: decoding, tracing, sampling."""
+
+from repro.engine.decode import DecodedProgram
+from repro.engine.functional import (
+    ExecutionLimitExceeded,
+    FunctionalResult,
+    FunctionalSimulator,
+    run_program,
+)
+from repro.engine.sampler import ALWAYS_ON, CyclicSampler, Phase
+from repro.engine.trace import Trace, TraceRecord
+
+__all__ = [
+    "ALWAYS_ON",
+    "CyclicSampler",
+    "DecodedProgram",
+    "ExecutionLimitExceeded",
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "Phase",
+    "Trace",
+    "TraceRecord",
+    "run_program",
+]

@@ -1,0 +1,297 @@
+"""Functional simulator: executes a program and emits a dynamic trace.
+
+This is the paper's "functional cache simulator [that] generates program
+traces": it runs the program to completion (or an instruction limit) on
+a :class:`~repro.memory.main_memory.MainMemory`, classifies every load
+against a :class:`~repro.memory.hierarchy.FunctionalHierarchy`, and
+records register and memory dependence edges so the slicer can walk
+backward slices without re-executing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.decode import (
+    DecodedProgram,
+    K_ALU_I,
+    K_ALU_R,
+    K_BRANCH,
+    K_HALT,
+    K_JAL,
+    K_JR,
+    K_JUMP,
+    K_LOAD,
+    K_NOP,
+    K_STORE,
+)
+from repro.engine.sampler import CyclicSampler, Phase
+from repro.engine.trace import Trace
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS
+from repro.memory.hierarchy import FunctionalHierarchy, HierarchyConfig, MemoryLevel
+from repro.memory.main_memory import MainMemory
+
+
+class ExecutionLimitExceeded(Exception):
+    """Raised when a program fails to halt within a hard safety limit."""
+
+
+@dataclass
+class FunctionalResult:
+    """Output of one functional simulation run.
+
+    Attributes:
+        trace: the dynamic trace (``None`` if tracing was disabled).
+        instructions: dynamic instructions executed (all phases).
+        traced_instructions: instructions recorded in the trace.
+        halted: True if the program executed ``halt``; False if it was
+            stopped by ``max_instructions``.
+        loads / stores / branches: dynamic counts (all phases).
+        l1_misses / l2_misses: load+store misses seen by the hierarchy
+            (warm and on phases only).
+        registers: final architectural register values.
+        memory: final memory state.
+    """
+
+    trace: Optional[Trace]
+    instructions: int
+    traced_instructions: int
+    halted: bool
+    loads: int
+    stores: int
+    branches: int
+    l1_misses: int
+    l2_misses: int
+    registers: List[int]
+    memory: MainMemory
+    load_level_counts: Dict[int, int] = field(default_factory=dict)
+
+
+class FunctionalSimulator:
+    """Executes programs functionally with optional tracing and caches.
+
+    Args:
+        program: the linked program to run.
+        hierarchy_config: cache geometry; if ``None`` no cache model is
+            attached and all loads are recorded at level 0.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+    ) -> None:
+        self.program = program
+        self.decoded = DecodedProgram(program)
+        self.hierarchy_config = hierarchy_config
+
+    def run(
+        self,
+        max_instructions: int = 50_000_000,
+        collect_trace: bool = True,
+        sampler: Optional[CyclicSampler] = None,
+        strict_limit: bool = False,
+    ) -> FunctionalResult:
+        """Run the program to ``halt`` or ``max_instructions``.
+
+        Args:
+            max_instructions: stop after this many dynamic instructions.
+            collect_trace: record a :class:`Trace` of ON-phase records.
+            sampler: optional cyclic off/warm/on schedule.
+            strict_limit: if True, hitting ``max_instructions`` raises
+                :class:`ExecutionLimitExceeded` instead of returning.
+        """
+        decoded = self.decoded
+        kind = decoded.kind
+        rd_arr = decoded.rd
+        rs1_arr = decoded.rs1
+        rs2_arr = decoded.rs2
+        imm_arr = decoded.imm
+        target_arr = decoded.target
+        alu_arr = decoded.alu
+        branch_arr = decoded.branch
+
+        memory = MainMemory(self.program.data)
+        hierarchy = (
+            FunctionalHierarchy(self.hierarchy_config)
+            if self.hierarchy_config is not None
+            else None
+        )
+        trace = Trace(capacity=min(max_instructions, 1 << 18)) if collect_trace else None
+
+        regs = [0] * NUM_REGS
+        last_writer = [-1] * NUM_REGS
+        last_store: Dict[int, int] = {}
+        load_level_counts: Dict[int, int] = {1: 0, 2: 0, 3: 0}
+
+        pc = 0
+        executed = 0
+        loads = stores = branches = 0
+        halted = False
+
+        mem_load = memory.load
+        mem_store = memory.store
+        hier_access = hierarchy.access if hierarchy is not None else None
+        trace_append = trace.append if trace is not None else None
+        sample_phase = sampler.phase if sampler is not None else None
+
+        while executed < max_instructions:
+            k = kind[pc]
+            if sample_phase is not None:
+                phase = sample_phase(executed)
+                tracing = phase is Phase.ON and trace_append is not None
+                caching = phase is not Phase.OFF and hier_access is not None
+            else:
+                tracing = trace_append is not None
+                caching = hier_access is not None
+            executed += 1
+            next_pc = pc + 1
+
+            if k == K_ALU_R:
+                rs1 = rs1_arr[pc]
+                rs2 = rs2_arr[pc]
+                value = alu_arr[pc](regs[rs1], regs[rs2])
+                rd = rd_arr[pc]
+                idx = -1
+                if tracing:
+                    idx = trace_append(
+                        pc, dep1=last_writer[rs1], dep2=last_writer[rs2]
+                    )
+                if rd:
+                    regs[rd] = value
+                    last_writer[rd] = idx
+            elif k == K_ALU_I:
+                rs1 = rs1_arr[pc]
+                value = alu_arr[pc](regs[rs1], imm_arr[pc])
+                rd = rd_arr[pc]
+                idx = -1
+                if tracing:
+                    idx = trace_append(pc, dep1=last_writer[rs1])
+                if rd:
+                    regs[rd] = value
+                    last_writer[rd] = idx
+            elif k == K_LOAD:
+                loads += 1
+                rs1 = rs1_arr[pc]
+                addr = regs[rs1] + imm_arr[pc]
+                value = mem_load(addr)
+                level = 0
+                if caching:
+                    level = int(hier_access(addr))
+                    load_level_counts[level] += 1
+                rd = rd_arr[pc]
+                idx = -1
+                if tracing:
+                    idx = trace_append(
+                        pc,
+                        addr=addr,
+                        level=level,
+                        dep1=last_writer[rs1],
+                        memdep=last_store.get(addr, -1),
+                    )
+                if rd:
+                    regs[rd] = value
+                    last_writer[rd] = idx
+            elif k == K_STORE:
+                stores += 1
+                rs1 = rs1_arr[pc]
+                rs2 = rs2_arr[pc]
+                addr = regs[rs1] + imm_arr[pc]
+                mem_store(addr, regs[rs2])
+                if caching:
+                    hier_access(addr, True)
+                if tracing:
+                    idx = trace_append(
+                        pc,
+                        addr=addr,
+                        dep1=last_writer[rs1],
+                        dep2=last_writer[rs2],
+                    )
+                    last_store[addr] = idx
+                else:
+                    last_store[addr] = -1
+            elif k == K_BRANCH:
+                branches += 1
+                rs1 = rs1_arr[pc]
+                rs2 = rs2_arr[pc]
+                taken = branch_arr[pc](regs[rs1], regs[rs2])
+                if tracing:
+                    trace_append(
+                        pc,
+                        dep1=last_writer[rs1],
+                        dep2=last_writer[rs2],
+                        taken=taken,
+                    )
+                if taken:
+                    next_pc = target_arr[pc]
+            elif k == K_JUMP:
+                branches += 1
+                if tracing:
+                    trace_append(pc, taken=True)
+                next_pc = target_arr[pc]
+            elif k == K_JAL:
+                branches += 1
+                rd = rd_arr[pc]
+                idx = -1
+                if tracing:
+                    idx = trace_append(pc, taken=True)
+                if rd:
+                    regs[rd] = pc + 1
+                    last_writer[rd] = idx
+                next_pc = target_arr[pc]
+            elif k == K_JR:
+                branches += 1
+                rs1 = rs1_arr[pc]
+                if tracing:
+                    trace_append(pc, dep1=last_writer[rs1], taken=True)
+                next_pc = regs[rs1]
+            elif k == K_HALT:
+                if tracing:
+                    trace_append(pc)
+                halted = True
+                break
+            else:  # K_NOP
+                if tracing:
+                    trace_append(pc)
+
+            pc = next_pc
+
+        if not halted and strict_limit:
+            raise ExecutionLimitExceeded(
+                f"{self.program.name}: no halt within {max_instructions} "
+                "instructions"
+            )
+        if trace is not None:
+            trace.trim()
+        return FunctionalResult(
+            trace=trace,
+            instructions=executed,
+            traced_instructions=len(trace) if trace is not None else 0,
+            halted=halted,
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            l1_misses=hierarchy.l1.misses if hierarchy is not None else 0,
+            l2_misses=hierarchy.l2.misses if hierarchy is not None else 0,
+            registers=regs,
+            memory=memory,
+            load_level_counts=load_level_counts,
+        )
+
+
+def run_program(
+    program: Program,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    max_instructions: int = 50_000_000,
+    collect_trace: bool = True,
+    sampler: Optional[CyclicSampler] = None,
+) -> FunctionalResult:
+    """One-shot convenience wrapper around :class:`FunctionalSimulator`."""
+    sim = FunctionalSimulator(program, hierarchy_config)
+    return sim.run(
+        max_instructions=max_instructions,
+        collect_trace=collect_trace,
+        sampler=sampler,
+    )

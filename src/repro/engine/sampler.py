@@ -1,0 +1,61 @@
+"""Cyclic sampling controller.
+
+The paper's tools "exploit sampling, cycling through off
+(fast-forwarding), warm-up (caches and branch predictor only) and on
+(full detail) phases at regular intervals".  :class:`CyclicSampler`
+reproduces that control: given phase lengths, it maps a dynamic
+instruction number to the phase it falls in.
+
+Our workloads are small enough to trace in full, so the default
+everywhere is no sampler; the sampler exists for the granularity and
+scaling experiments and to keep the methodology faithful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Phase(enum.Enum):
+    OFF = "off"
+    WARM = "warm"
+    ON = "on"
+
+
+@dataclass(frozen=True)
+class CyclicSampler:
+    """Cyclic off/warm/on sampling schedule.
+
+    Attributes:
+        off: instructions fast-forwarded per cycle (no caches, no trace).
+        warm: instructions of cache/predictor warm-up per cycle.
+        on: instructions of full-detail tracing per cycle.
+    """
+
+    off: int
+    warm: int
+    on: int
+
+    def __post_init__(self) -> None:
+        if self.on <= 0:
+            raise ValueError("sampler 'on' phase must be positive")
+        if self.off < 0 or self.warm < 0:
+            raise ValueError("sampler phase lengths must be non-negative")
+
+    @property
+    def period(self) -> int:
+        return self.off + self.warm + self.on
+
+    def phase(self, instruction_number: int) -> Phase:
+        """Phase of dynamic instruction ``instruction_number``."""
+        pos = instruction_number % self.period
+        if pos < self.off:
+            return Phase.OFF
+        if pos < self.off + self.warm:
+            return Phase.WARM
+        return Phase.ON
+
+
+#: A sampler that is always in the ON phase.
+ALWAYS_ON = CyclicSampler(off=0, warm=0, on=1)

@@ -1,0 +1,128 @@
+"""Compact dynamic-trace storage.
+
+A :class:`Trace` holds one dynamic record per executed instruction in
+parallel numpy arrays.  This keeps multi-hundred-thousand-instruction
+traces cheap (a few dozen bytes per record instead of a Python object)
+while letting the slicer walk dependence edges with plain integer
+indexing.
+
+Per-record fields:
+
+* ``pc`` — static PC of the instruction.
+* ``addr`` — effective byte address for loads/stores, -1 otherwise.
+* ``level`` — for loads, the :class:`~repro.memory.hierarchy.MemoryLevel`
+  that satisfied the access (0 for non-loads).
+* ``dep1`` / ``dep2`` — dynamic indices of the producers of the first
+  and second register source operands (-1 if the value is a program
+  live-in or the operand does not exist).
+* ``memdep`` — for loads, the dynamic index of the most recent store to
+  the same word (-1 if the value came from the initial data image).
+* ``taken`` — for branches, 1 if taken.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+
+class TraceRecord(NamedTuple):
+    """A single dynamic instruction record (convenience view)."""
+
+    index: int
+    pc: int
+    addr: int
+    level: int
+    dep1: int
+    dep2: int
+    memdep: int
+    taken: bool
+
+
+class Trace:
+    """Growable parallel-array trace.
+
+    Args:
+        capacity: initial capacity in records (grows by doubling).
+    """
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        capacity = max(16, capacity)
+        self.pc = np.empty(capacity, dtype=np.int32)
+        self.addr = np.empty(capacity, dtype=np.int64)
+        self.level = np.empty(capacity, dtype=np.int8)
+        self.dep1 = np.empty(capacity, dtype=np.int64)
+        self.dep2 = np.empty(capacity, dtype=np.int64)
+        self.memdep = np.empty(capacity, dtype=np.int64)
+        self.taken = np.empty(capacity, dtype=np.int8)
+        self.length = 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    def _grow(self) -> None:
+        new_capacity = len(self.pc) * 2
+        for name in ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken"):
+            old = getattr(self, name)
+            grown = np.empty(new_capacity, dtype=old.dtype)
+            grown[: self.length] = old[: self.length]
+            setattr(self, name, grown)
+
+    def append(
+        self,
+        pc: int,
+        addr: int = -1,
+        level: int = 0,
+        dep1: int = -1,
+        dep2: int = -1,
+        memdep: int = -1,
+        taken: bool = False,
+    ) -> int:
+        """Append one record; returns its dynamic index."""
+        i = self.length
+        if i >= len(self.pc):
+            self._grow()
+        self.pc[i] = pc
+        self.addr[i] = addr
+        self.level[i] = level
+        self.dep1[i] = dep1
+        self.dep2[i] = dep2
+        self.memdep[i] = memdep
+        self.taken[i] = taken
+        self.length = i + 1
+        return i
+
+    def trim(self) -> None:
+        """Release unused capacity (call once tracing is finished)."""
+        for name in ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken"):
+            setattr(self, name, getattr(self, name)[: self.length].copy())
+
+    def record(self, i: int) -> TraceRecord:
+        """Return record ``i`` as a named tuple."""
+        if not 0 <= i < self.length:
+            raise IndexError(f"trace index out of range: {i}")
+        return TraceRecord(
+            index=i,
+            pc=int(self.pc[i]),
+            addr=int(self.addr[i]),
+            level=int(self.level[i]),
+            dep1=int(self.dep1[i]),
+            dep2=int(self.dep2[i]),
+            memdep=int(self.memdep[i]),
+            taken=bool(self.taken[i]),
+        )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for i in range(self.length):
+            yield self.record(i)
+
+    def static_counts(self, num_static: int) -> np.ndarray:
+        """Dynamic execution count of every static PC."""
+        return np.bincount(
+            self.pc[: self.length], minlength=num_static
+        ).astype(np.int64)
+
+    def miss_indices(self, min_level: int) -> np.ndarray:
+        """Dynamic indices of loads that missed to ``min_level`` or beyond."""
+        return np.nonzero(self.level[: self.length] >= min_level)[0]

@@ -1,0 +1,5 @@
+"""Front-end models: branch prediction."""
+
+from repro.frontend.branch_predictor import HybridPredictor
+
+__all__ = ["HybridPredictor"]

@@ -1,0 +1,49 @@
+"""Experiment harness: pipeline, tables, figures, reporting."""
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+)
+from repro.harness.figures import (
+    FIGURE_METRICS,
+    FigureData,
+    figure4_scope_length,
+    figure5_opt_merge,
+    figure6_granularity,
+    figure7_input_sets,
+    figure8_memory_latency,
+    figure8b_processor_width,
+)
+from repro.harness.report import fmt, render_series, render_table
+from repro.harness.tables import (
+    Table1Row,
+    Table2Row,
+    render_table1,
+    render_table2,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "FIGURE_METRICS",
+    "FigureData",
+    "Table1Row",
+    "Table2Row",
+    "figure4_scope_length",
+    "figure5_opt_merge",
+    "figure6_granularity",
+    "figure7_input_sets",
+    "figure8_memory_latency",
+    "figure8b_processor_width",
+    "fmt",
+    "render_series",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,326 @@
+"""End-to-end experiment pipeline.
+
+One :class:`ExperimentRunner` reproduces the paper's tool flow:
+
+1. functional cache simulation → dynamic trace with miss levels
+   (the paper's trace generator);
+2. baseline timing simulation → unassisted IPC (a model input);
+3. slice-tree construction + aggregate-advantage selection →
+   static p-threads and framework predictions;
+4. pre-execution timing simulation (plus the overhead-only /
+   latency-only validation modes on request) → measured statistics.
+
+Traces and baseline runs are cached per (workload, input, hierarchy,
+machine) so parameter sweeps (Figures 4–8) only repeat the stages they
+vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.functional import FunctionalResult, run_program
+from repro.memory.hierarchy import HierarchyConfig
+from repro.model.params import ModelParams, SelectionConstraints
+from repro.selection.granularity import select_by_region
+from repro.selection.program_selector import ProgramSelection, select_pthreads
+from repro.timing.config import (
+    BASELINE,
+    LATENCY_ONLY,
+    MachineConfig,
+    OVERHEAD_EXECUTE,
+    OVERHEAD_SEQUENCE,
+    PERFECT_L2,
+    PRE_EXECUTION,
+)
+from repro.timing.core import Schedule, TimingSimulator
+from repro.timing.stats import SimStats
+from repro.workloads.suite import Workload, build
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell: workload + all knobs the paper varies.
+
+    Attributes:
+        workload: suite workload name.
+        input_name: input the measurement runs on.
+        constraints: p-thread selection constraints (Figures 4/5).
+        machine: core configuration (width sweeps).
+        hierarchy: memory system; ``None`` uses the workload default.
+        model_mem_latency: ``Lmem`` presented to the *framework*; when
+            it differs from the simulated memory latency this is the
+            paper's Figure 8 over-/under-specification methodology.
+        model_bw_seq: sequencing width presented to the framework
+            (processor-width cross-validation); ``None`` uses the
+            simulated machine's width.
+        selection_input: input whose profile drives selection (Figure 7
+            static scenario uses "test" while measuring on "train").
+        selection_prefix: select using only the first N dynamic
+            instructions of the trace (Figure 7 dynamic scenario).
+        granularity: region size for region-specialized selection
+            (Figure 6); ``None`` selects over the whole run.
+        effective_latency: refine ``Lmem`` per static load using the
+            exposed-stall measurement from the baseline run — the
+            critical-path extension the paper lists as future work.
+        validate: also run the overhead-only / latency-only /
+            perfect-L2 validation simulations.
+    """
+
+    workload: str
+    input_name: str = "train"
+    constraints: SelectionConstraints = field(default_factory=SelectionConstraints)
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    hierarchy: Optional[HierarchyConfig] = None
+    model_mem_latency: Optional[int] = None
+    model_bw_seq: Optional[int] = None
+    selection_input: Optional[str] = None
+    selection_prefix: Optional[int] = None
+    granularity: Optional[int] = None
+    effective_latency: bool = False
+    validate: bool = False
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment cell produced."""
+
+    config: ExperimentConfig
+    workload: Workload
+    functional: FunctionalResult
+    baseline: SimStats
+    selection: ProgramSelection
+    preexec: SimStats
+    validation: Dict[str, SimStats] = field(default_factory=dict)
+    num_regions: int = 1
+
+    @property
+    def speedup(self) -> float:
+        """Fractional speedup of pre-execution over the baseline."""
+        return self.preexec.speedup_over(self.baseline)
+
+    @property
+    def coverage(self) -> float:
+        return self.preexec.coverage_fraction
+
+    @property
+    def full_coverage(self) -> float:
+        return self.preexec.full_coverage_fraction
+
+    def summary_row(self) -> Dict[str, float]:
+        """Flat metrics dict for table/figure rendering."""
+        return {
+            "base_ipc": self.baseline.ipc,
+            "preexec_ipc": self.preexec.ipc,
+            "speedup_pct": 100.0 * self.speedup,
+            "coverage_pct": 100.0 * self.coverage,
+            "full_coverage_pct": 100.0 * self.full_coverage,
+            "overhead_pct": 100.0 * self.preexec.instruction_overhead,
+            "pthread_len": self.preexec.avg_pthread_length,
+            "launches": float(self.preexec.pthread_launches),
+            "static_pthreads": float(len(self.selection.pthreads)),
+        }
+
+
+class ExperimentRunner:
+    """Pipeline driver with trace/baseline caching across sweep cells."""
+
+    def __init__(self, max_instructions: int = 10_000_000) -> None:
+        self.max_instructions = max_instructions
+        self._workloads: Dict[Tuple, Workload] = {}
+        self._traces: Dict[Tuple, FunctionalResult] = {}
+        self._baselines: Dict[Tuple, SimStats] = {}
+
+    # -- cached stages --------------------------------------------------
+
+    def workload(
+        self,
+        name: str,
+        input_name: str,
+        hierarchy: Optional[HierarchyConfig] = None,
+    ) -> Workload:
+        key = (name, input_name, hierarchy)
+        if key not in self._workloads:
+            self._workloads[key] = build(name, input_name, hierarchy=hierarchy)
+        return self._workloads[key]
+
+    def trace(self, workload: Workload) -> FunctionalResult:
+        key = (workload.name, workload.input_name, workload.hierarchy)
+        if key not in self._traces:
+            self._traces[key] = run_program(
+                workload.program,
+                workload.hierarchy,
+                max_instructions=self.max_instructions,
+            )
+        return self._traces[key]
+
+    def baseline(self, workload: Workload, machine: MachineConfig) -> SimStats:
+        key = (workload.name, workload.input_name, workload.hierarchy, machine)
+        if key not in self._baselines:
+            sim = TimingSimulator(workload.program, workload.hierarchy, machine)
+            self._baselines[key] = sim.run(
+                BASELINE, max_instructions=self.max_instructions
+            )
+        return self._baselines[key]
+
+    def perfect_l2(self, workload: Workload, machine: MachineConfig) -> SimStats:
+        sim = TimingSimulator(workload.program, workload.hierarchy, machine)
+        return sim.run(PERFECT_L2, max_instructions=self.max_instructions)
+
+    # -- pipeline -------------------------------------------------------
+
+    def model_params(
+        self, config: ExperimentConfig, workload: Workload, base_ipc: float
+    ) -> ModelParams:
+        mem_latency = (
+            config.model_mem_latency
+            if config.model_mem_latency is not None
+            else workload.hierarchy.mem_latency
+        )
+        return ModelParams(
+            bw_seq=(
+                config.model_bw_seq
+                if config.model_bw_seq is not None
+                else config.machine.bw_seq
+            ),
+            unassisted_ipc=max(base_ipc, 0.05),
+            mem_latency=mem_latency,
+            load_latency=workload.hierarchy.l1.hit_latency,
+        )
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Execute one experiment cell end to end."""
+        workload = self.workload(
+            config.workload, config.input_name, config.hierarchy
+        )
+        functional = self.trace(workload)
+        base = self.baseline(workload, config.machine)
+
+        # --- selection statistics may come from a different profile ---
+        if config.selection_input is not None:
+            profile_workload = self.workload(
+                config.workload, config.selection_input, config.hierarchy
+            )
+            profile_trace = self.trace(profile_workload)
+            profile_base = self.baseline(profile_workload, config.machine)
+            profile_program = profile_workload.program
+            profile_ipc = profile_base.ipc
+        else:
+            profile_trace = functional
+            profile_program = workload.program
+            profile_ipc = base.ipc
+        params = self.model_params(config, workload, profile_ipc)
+
+        schedule: Optional[Schedule] = None
+        num_regions = 1
+        if config.granularity is not None:
+            granular = select_by_region(
+                profile_program,
+                profile_trace.trace,
+                params,
+                region_size=config.granularity,
+                constraints=config.constraints,
+            )
+            schedule = granular.schedule()
+            num_regions = len(granular.regions)
+            # Report the aggregate of the region selections.
+            selection = _aggregate_regions(granular, params, config.constraints)
+        else:
+            region = None
+            if config.selection_prefix is not None:
+                region = (0, config.selection_prefix)
+            lmem_overrides = None
+            if config.effective_latency:
+                lmem_overrides = {
+                    pc: base.effective_latency(pc, params.mem_latency)
+                    for pc in base.miss_exposure
+                }
+            selection = select_pthreads(
+                profile_program,
+                profile_trace.trace,
+                params,
+                constraints=config.constraints,
+                region=region,
+                lmem_overrides=lmem_overrides,
+            )
+
+        # --- measurement ----------------------------------------------
+        def simulate(mode) -> SimStats:
+            if schedule is not None:
+                sim = TimingSimulator(
+                    workload.program,
+                    workload.hierarchy,
+                    config.machine,
+                    schedule=schedule,
+                )
+            else:
+                sim = TimingSimulator(
+                    workload.program,
+                    workload.hierarchy,
+                    config.machine,
+                    pthreads=selection.pthreads,
+                )
+            return sim.run(mode, max_instructions=self.max_instructions)
+
+        preexec = simulate(PRE_EXECUTION)
+        validation: Dict[str, SimStats] = {}
+        if config.validate:
+            validation["overhead_execute"] = simulate(OVERHEAD_EXECUTE)
+            validation["overhead_sequence"] = simulate(OVERHEAD_SEQUENCE)
+            validation["latency_only"] = simulate(LATENCY_ONLY)
+            validation["perfect_l2"] = self.perfect_l2(workload, config.machine)
+
+        return ExperimentResult(
+            config=config,
+            workload=workload,
+            functional=functional,
+            baseline=base,
+            selection=selection,
+            preexec=preexec,
+            validation=validation,
+            num_regions=num_regions,
+        )
+
+
+def _aggregate_regions(granular, params, constraints) -> ProgramSelection:
+    """Collapse per-region selections into one reportable selection.
+
+    The activation schedule keeps the per-region p-thread sets; this
+    aggregate only exists so reports have program-level predictions.
+    """
+    from repro.selection.program_selector import ProgramPrediction
+
+    pthreads = [p for region in granular.regions for p in region.pthreads]
+    totals = dict(
+        launches=0,
+        injected_instructions=0,
+        misses_covered=0,
+        misses_fully_covered=0,
+        lt_agg=0.0,
+        oh_agg=0.0,
+        sample_instructions=0,
+        sample_l2_misses=0,
+    )
+    for region in granular.regions:
+        prediction = region.selection.prediction
+        totals["launches"] += prediction.launches
+        totals["injected_instructions"] += prediction.injected_instructions
+        totals["misses_covered"] += prediction.misses_covered
+        totals["misses_fully_covered"] += prediction.misses_fully_covered
+        totals["lt_agg"] += prediction.lt_agg
+        totals["oh_agg"] += prediction.oh_agg
+        totals["sample_instructions"] += prediction.sample_instructions
+        totals["sample_l2_misses"] += prediction.sample_l2_misses
+    prediction = ProgramPrediction(
+        unassisted_ipc=params.unassisted_ipc,
+        sequencing_width=params.bw_seq,
+        **totals,
+    )
+    return ProgramSelection(
+        pthreads=pthreads,
+        tree_selections={},
+        prediction=prediction,
+        params=params,
+        constraints=constraints,
+    )

@@ -1,0 +1,199 @@
+"""Two-pass textual assembler for the repro RISC ISA.
+
+The assembler accepts the syntax used throughout the paper's figures::
+
+    # comments start with '#' or ';'
+    loop:
+        lw   t0, 0(a0)          # load
+        addi a0, a0, 16
+        bne  t0, zero, loop
+        halt
+
+Labels end with ``:`` and may share a line with an instruction.  Both
+``r<N>`` names and ABI aliases are accepted for registers.  Immediates
+may be decimal or hex (``0x...``) and may be negative.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, MNEMONICS, Opcode, opinfo
+from repro.isa.program import DataImage, Program, ProgramError
+from repro.isa.registers import parse_register
+
+
+class AssemblerError(ProgramError):
+    """Raised on syntax errors, with source line information."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_][\w.$]*)\s*:\s*(.*)$")
+_MEM_OPERAND_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(\s*(\w+)\s*\)$")
+
+
+def _parse_imm(text: str) -> int:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise ValueError(f"invalid immediate: {text!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line
+
+
+def parse_line(line: str) -> Tuple[Optional[str], Optional[Instruction]]:
+    """Parse one source line into ``(label, instruction)``.
+
+    Either element may be ``None``.  Raises ``ValueError`` on bad syntax
+    (callers wrap it with line numbers).
+    """
+    line = _strip_comment(line)
+    label: Optional[str] = None
+    match = _LABEL_RE.match(line)
+    if match:
+        label, line = match.group(1), match.group(2)
+    line = line.strip()
+    if not line:
+        return label, None
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    if mnemonic not in MNEMONICS:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}")
+    op = MNEMONICS[mnemonic]
+    operands = _split_operands(rest)
+    return label, _build_instruction(op, operands)
+
+
+def _require(count: int, operands: List[str], op: Opcode) -> None:
+    if len(operands) != count:
+        raise ValueError(
+            f"{op.value} expects {count} operand(s), got {len(operands)}"
+        )
+
+
+def _mem_operand(text: str) -> Tuple[int, int]:
+    """Parse ``imm(base)`` into ``(imm, base_register)``."""
+    match = _MEM_OPERAND_RE.match(text.strip())
+    if not match:
+        raise ValueError(f"invalid memory operand: {text!r}")
+    return _parse_imm(match.group(1)), parse_register(match.group(2))
+
+
+def _build_instruction(op: Opcode, operands: List[str]) -> Instruction:
+    fmt = opinfo(op).fmt
+    if fmt is Format.R:
+        _require(3, operands, op)
+        return Instruction(
+            op,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            rs2=parse_register(operands[2]),
+        )
+    if fmt is Format.I:
+        if op is Opcode.MOV:
+            _require(2, operands, op)
+            return Instruction(
+                op,
+                rd=parse_register(operands[0]),
+                rs1=parse_register(operands[1]),
+            )
+        if op is Opcode.LUI:
+            _require(2, operands, op)
+            return Instruction(
+                op,
+                rd=parse_register(operands[0]),
+                rs1=0,
+                imm=_parse_imm(operands[1]),
+            )
+        _require(3, operands, op)
+        return Instruction(
+            op,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            imm=_parse_imm(operands[2]),
+        )
+    if fmt is Format.LOAD:
+        _require(2, operands, op)
+        imm, base = _mem_operand(operands[1])
+        return Instruction(op, rd=parse_register(operands[0]), rs1=base, imm=imm)
+    if fmt is Format.STORE:
+        _require(2, operands, op)
+        imm, base = _mem_operand(operands[1])
+        return Instruction(op, rs2=parse_register(operands[0]), rs1=base, imm=imm)
+    if fmt is Format.BRANCH:
+        _require(3, operands, op)
+        return Instruction(
+            op,
+            rs1=parse_register(operands[0]),
+            rs2=parse_register(operands[1]),
+            target=operands[2],
+        )
+    if fmt is Format.JUMP:
+        _require(1, operands, op)
+        return Instruction(op, target=operands[0])
+    if fmt is Format.JAL:
+        _require(2, operands, op)
+        return Instruction(op, rd=parse_register(operands[0]), target=operands[1])
+    if fmt is Format.JR:
+        _require(1, operands, op)
+        return Instruction(op, rs1=parse_register(operands[0]))
+    _require(0, operands, op)
+    return Instruction(op)
+
+
+def assemble(
+    source: str,
+    data: Optional[DataImage] = None,
+    name: str = "program",
+) -> Program:
+    """Assemble ``source`` text into a :class:`Program`.
+
+    Args:
+        source: assembly text.
+        data: optional initial data image to attach.
+        name: program name for reporting.
+
+    Raises:
+        AssemblerError: on any syntax or label error, annotated with the
+            offending source line.
+    """
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        try:
+            label, inst = parse_line(line)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no, line) from None
+        if label is not None:
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}", line_no, line)
+            labels[label] = len(instructions)
+        if inst is not None:
+            instructions.append(inst)
+    for label, index in labels.items():
+        if index >= len(instructions):
+            # A trailing label with no instruction after it: point it at
+            # the final instruction so jumps to an "end" label work.
+            labels[label] = len(instructions) - 1
+    return Program(instructions, labels=labels, data=data, name=name)

@@ -1,0 +1,98 @@
+"""Register file naming for the repro RISC ISA.
+
+There are 32 architectural integer registers.  Register ``r0`` is
+hard-wired to zero, as in MIPS/Alpha; writes to it are discarded.  A
+conventional ABI-style set of aliases is provided purely for readability
+of hand-written workload kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Number of architectural registers.
+NUM_REGS = 32
+
+#: The hard-wired zero register.
+ZERO = 0
+
+#: ABI-style aliases, alias name -> register index.
+ALIASES: Dict[str, int] = {
+    "zero": 0,
+    "ra": 1,  # return address
+    "sp": 2,  # stack pointer
+    "gp": 3,  # global pointer
+    # argument / result registers
+    "a0": 4,
+    "a1": 5,
+    "a2": 6,
+    "a3": 7,
+    # caller-saved temporaries
+    "t0": 8,
+    "t1": 9,
+    "t2": 10,
+    "t3": 11,
+    "t4": 12,
+    "t5": 13,
+    "t6": 14,
+    "t7": 15,
+    # callee-saved
+    "s0": 16,
+    "s1": 17,
+    "s2": 18,
+    "s3": 19,
+    "s4": 20,
+    "s5": 21,
+    "s6": 22,
+    "s7": 23,
+    # extra temporaries
+    "u0": 24,
+    "u1": 25,
+    "u2": 26,
+    "u3": 27,
+    "u4": 28,
+    "u5": 29,
+    "u6": 30,
+    "u7": 31,
+}
+
+_ALIAS_BY_INDEX: Dict[int, str] = {idx: name for name, idx in ALIASES.items()}
+
+
+def parse_register(name: str) -> int:
+    """Parse a register name (``r7``, ``t0``, ``zero``) to its index.
+
+    Raises:
+        ValueError: if the name is not a valid register.
+    """
+    name = name.strip().lower()
+    if name in ALIASES:
+        return ALIASES[name]
+    if name.startswith("r"):
+        try:
+            idx = int(name[1:])
+        except ValueError:
+            raise ValueError(f"invalid register name: {name!r}") from None
+        if 0 <= idx < NUM_REGS:
+            return idx
+    raise ValueError(f"invalid register name: {name!r}")
+
+
+def register_name(idx: int, *, abi: bool = False) -> str:
+    """Return the canonical name for register index ``idx``.
+
+    Indices at or above ``NUM_REGS`` are *virtual* registers — legal
+    only inside p-thread bodies (introduced by the merger, backed by
+    the p-thread's private renamed context) — and render as ``v<N>``.
+
+    Args:
+        idx: register index (architectural or virtual).
+        abi: if true, use the ABI alias (``t0``) instead of ``r8``.
+    """
+    if idx >= NUM_REGS:
+        return f"v{idx - NUM_REGS}"
+    if idx < 0:
+        raise ValueError(f"register index out of range: {idx}")
+    if abi:
+        return _ALIAS_BY_INDEX[idx]
+    return f"r{idx}"

@@ -1,0 +1,31 @@
+"""Memory system: main memory, caches, MSHRs, busses, hierarchies."""
+
+from repro.memory.bus import Bus
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import (
+    AccessOutcome,
+    CoverageKind,
+    FunctionalHierarchy,
+    HierarchyConfig,
+    MemoryLevel,
+    TimedHierarchy,
+)
+from repro.memory.main_memory import MainMemory, MemoryAlignmentError
+from repro.memory.mshr import MshrFile
+from repro.memory.prefetcher import StridePrefetcher
+
+__all__ = [
+    "AccessOutcome",
+    "Bus",
+    "Cache",
+    "CacheConfig",
+    "CoverageKind",
+    "FunctionalHierarchy",
+    "HierarchyConfig",
+    "MainMemory",
+    "MemoryAlignmentError",
+    "MemoryLevel",
+    "MshrFile",
+    "StridePrefetcher",
+    "TimedHierarchy",
+]

@@ -1,0 +1,160 @@
+"""Set-associative cache state with LRU replacement.
+
+:class:`Cache` models tag state only — data values always come from the
+functional :class:`~repro.memory.main_memory.MainMemory`.  This is
+exactly the modelling level the paper's tools need: the functional cache
+simulator classifies each access as an L1 hit / L2 hit / L2 miss, and
+the timing simulator attaches latencies to those outcomes.
+
+Replacement is true LRU within a set.  The cache is write-back
+write-allocate; dirty state is tracked so writeback traffic can be
+charged to the bus model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one cache level.
+
+    Attributes:
+        name: label used in statistics ("L1D", "L2").
+        size_bytes: total capacity.
+        line_bytes: line (block) size.
+        assoc: associativity (ways per set).
+        hit_latency: access latency in cycles on a hit.
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.assoc):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*assoc {self.line_bytes * self.assoc}"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+
+@dataclass
+class _Line:
+    """One cache line's tag state."""
+
+    tag: int
+    dirty: bool = False
+
+
+class Cache:
+    """Tag-state cache with LRU replacement.
+
+    The per-set structure is an ordered list of :class:`_Line`, most
+    recently used first; lookups are O(associativity), which is small.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List[List[_Line]] = [[] for _ in range(config.num_sets)]
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        self._sets_pow2 = config.num_sets & (config.num_sets - 1) == 0
+        # statistics
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def line_addr(self, addr: int) -> int:
+        """Aligned line address containing byte ``addr``."""
+        return (addr >> self._line_shift) << self._line_shift
+
+    def _index(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_shift
+        if self._sets_pow2:
+            return line & self._set_mask, line
+        return line % self.config.num_sets, line
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU state or statistics."""
+        set_index, tag = self._index(addr)
+        return any(line.tag == tag for line in self._sets[set_index])
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Access ``addr``; allocate on miss.  Returns hit status.
+
+        On a miss the LRU victim is evicted (counted as a writeback if
+        dirty) and the new line allocated MRU.
+        """
+        hit = self._touch(addr, is_write)
+        self.accesses += 1
+        if not hit:
+            self.misses += 1
+            self._fill(addr, dirty=is_write)
+        return hit
+
+    def fill(self, addr: int, *, dirty: bool = False) -> None:
+        """Install the line containing ``addr`` (prefetch fill path)."""
+        if not self.probe(addr):
+            self._fill(addr, dirty=dirty)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing ``addr``; returns True if present."""
+        set_index, tag = self._index(addr)
+        lines = self._sets[set_index]
+        for pos, line in enumerate(lines):
+            if line.tag == tag:
+                del lines[pos]
+                return True
+        return False
+
+    def _touch(self, addr: int, is_write: bool) -> bool:
+        set_index, tag = self._index(addr)
+        lines = self._sets[set_index]
+        for pos, line in enumerate(lines):
+            if line.tag == tag:
+                if pos:
+                    del lines[pos]
+                    lines.insert(0, line)
+                if is_write:
+                    line.dirty = True
+                return True
+        return False
+
+    def _fill(self, addr: int, *, dirty: bool) -> None:
+        set_index, tag = self._index(addr)
+        lines = self._sets[set_index]
+        if len(lines) >= self.config.assoc:
+            victim = lines.pop()
+            if victim.dirty:
+                self.writebacks += 1
+        lines.insert(0, _Line(tag=tag, dirty=dirty))
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    def miss_rate(self) -> float:
+        """Misses per access (0.0 if never accessed)."""
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (for tests)."""
+        return sum(len(lines) for lines in self._sets)

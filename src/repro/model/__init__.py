@@ -1,0 +1,23 @@
+"""Analytical model: SCDH, aggregate advantage, and parameters."""
+
+from repro.model.advantage import (
+    CandidateScore,
+    evaluate_candidate,
+    instruction_latency,
+    main_thread_scdh,
+    pthread_scdh,
+)
+from repro.model.params import ModelParams, SelectionConstraints
+from repro.model.scdh import scdh_input_height, scdh_profile
+
+__all__ = [
+    "CandidateScore",
+    "ModelParams",
+    "SelectionConstraints",
+    "evaluate_candidate",
+    "instruction_latency",
+    "main_thread_scdh",
+    "pthread_scdh",
+    "scdh_input_height",
+    "scdh_profile",
+]

@@ -1,0 +1,84 @@
+"""Sequencing-constrained dataflow height (SCDH).
+
+SCDH is the paper's execution-time estimator: ordinary dataflow height
+over a computation, except that each instruction's input height also
+includes a *sequencing constraint* — the cycle at which the instruction
+can first be fetched, computed as its dynamic distance from the trigger
+divided by the available sequencing bandwidth.
+
+The same recurrence serves both sides of the latency-tolerance
+computation: the p-thread executes the body densely
+(``DISTtrig = position + 1``, bandwidth ``BWseq-pt``), while the main
+thread reaches the same instructions sparsely (``DISTtrig`` recovered
+from slice-tree ``DISTpl`` annotations, bandwidth ``BWseq-mt``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def scdh_profile(
+    sequencing_constraints: Sequence[float],
+    latencies: Sequence[int],
+    deps: Sequence[Tuple[int, ...]],
+) -> List[float]:
+    """Completion times of every instruction in a computation.
+
+    Args:
+        sequencing_constraints: per position, the cycle at which the
+            instruction is sequenced (``SC``).
+        latencies: per position, execution latency.
+        deps: per position, positions of in-computation producers
+            (values from outside the computation are ready at cycle 0).
+
+    Returns:
+        Per position, the cycle at which the instruction's result is
+        available: ``max(SC, producers ready) + latency``.
+    """
+    n = len(sequencing_constraints)
+    if len(latencies) != n or len(deps) != n:
+        raise ValueError("scdh inputs must have equal lengths")
+    completion: List[float] = [0.0] * n
+    for j in range(n):
+        ready = sequencing_constraints[j]
+        for producer in deps[j]:
+            if not 0 <= producer < j:
+                raise ValueError(
+                    f"producer {producer} of position {j} is not earlier"
+                )
+            if completion[producer] > ready:
+                ready = completion[producer]
+        completion[j] = ready + latencies[j]
+    return completion
+
+
+def scdh_input_height(
+    sequencing_constraints: Sequence[float],
+    latencies: Sequence[int],
+    deps: Sequence[Tuple[int, ...]],
+    target: Optional[int] = None,
+) -> float:
+    """SCDH *input* height of the target instruction.
+
+    This is the paper's ``SCDHin`` of the problem-load instance: the
+    cycle at which the load can issue — its inputs are ready and it has
+    been sequenced.  The load's own (miss) latency is deliberately
+    excluded; the difference of the two sides' input heights is how far
+    the p-thread hoists the miss.
+
+    Args:
+        target: position of the problem load; defaults to the last
+            instruction.
+    """
+    n = len(sequencing_constraints)
+    if target is None:
+        target = n - 1
+    if not 0 <= target < n:
+        raise ValueError(f"target position out of range: {target}")
+    completion = scdh_profile(sequencing_constraints, latencies, deps)
+    height = float(sequencing_constraints[target])
+    for producer in deps[target]:
+        if completion[producer] > height:
+            height = completion[producer]
+    return height

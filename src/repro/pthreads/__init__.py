@@ -1,0 +1,45 @@
+"""P-threads: bodies, optimization, merging, and the reference interpreter."""
+
+from repro.pthreads.body import (
+    BodyDataflow,
+    PThreadBody,
+    VIRTUAL_REG_BASE,
+    analyze_dataflow,
+)
+from repro.pthreads.interp import BodyExecution, execute_body
+from repro.pthreads.merger import (
+    common_prefix_length,
+    merge_pthreads,
+    merge_two,
+)
+from repro.pthreads.optimizer import (
+    OptimizationReport,
+    OptimizedBody,
+    eliminate_dead_code,
+    eliminate_moves,
+    eliminate_store_load_pairs,
+    fold_constants,
+    optimize_body,
+)
+from repro.pthreads.pthread import PThreadPrediction, StaticPThread
+
+__all__ = [
+    "BodyDataflow",
+    "BodyExecution",
+    "OptimizationReport",
+    "OptimizedBody",
+    "PThreadBody",
+    "PThreadPrediction",
+    "StaticPThread",
+    "VIRTUAL_REG_BASE",
+    "analyze_dataflow",
+    "common_prefix_length",
+    "eliminate_dead_code",
+    "eliminate_moves",
+    "eliminate_store_load_pairs",
+    "execute_body",
+    "fold_constants",
+    "merge_pthreads",
+    "merge_two",
+    "optimize_body",
+]

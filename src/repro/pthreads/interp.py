@@ -1,0 +1,107 @@
+"""Reference interpreter for p-thread bodies.
+
+Executes a body the way the pre-execution runtime does: seeds come from
+a register snapshot, body stores forward to body loads through a local
+store buffer (speculative stores never commit to program memory), and
+other loads read program memory.  Used by tests to prove optimizer and
+merger transformations semantics-preserving, and as the reference for
+the timing simulator's faster inline executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.isa.opcodes import Format
+from repro.pthreads.body import PThreadBody
+
+
+@dataclass
+class BodyExecution:
+    """Trace of one dynamic body execution.
+
+    Attributes:
+        values: per position, the produced value (stores/branchless
+            positions produce ``None`` → 0 placeholder for stores).
+        addresses: per position, effective address for loads/stores
+            (``None`` otherwise).
+        forwarded: per position, True when a load was satisfied from
+            the local store buffer rather than program memory.
+    """
+
+    values: List[int] = field(default_factory=list)
+    addresses: List[Optional[int]] = field(default_factory=list)
+    forwarded: List[bool] = field(default_factory=list)
+    is_load: List[bool] = field(default_factory=list)
+
+    def memory_addresses(self) -> List[int]:
+        """Addresses of loads that reached program memory."""
+        return [
+            addr
+            for addr, fwd, load in zip(
+                self.addresses, self.forwarded, self.is_load
+            )
+            if load and addr is not None and not fwd
+        ]
+
+
+def execute_body(
+    body: PThreadBody,
+    seeds: Dict[int, int],
+    load_word: Callable[[int], int],
+) -> BodyExecution:
+    """Execute ``body`` with ``seeds`` against program memory.
+
+    Args:
+        body: the body to run.
+        seeds: live-in register values (missing registers read as 0).
+        load_word: reads a word of program memory at a byte address.
+
+    Returns:
+        A :class:`BodyExecution` with per-position results.
+    """
+    regs: Dict[int, int] = dict(seeds)
+    regs[0] = 0
+    store_buffer: Dict[int, int] = {}
+    result = BodyExecution()
+
+    def read(reg: Optional[int]) -> int:
+        if reg is None or reg == 0:
+            return 0
+        return regs.get(reg, 0)
+
+    def write(reg: Optional[int], value: int) -> None:
+        if reg is not None and reg != 0:
+            regs[reg] = value
+
+    for inst in body.instructions:
+        fmt = inst.info.fmt
+        value: int = 0
+        address: Optional[int] = None
+        forwarded = False
+        if fmt is Format.R:
+            value = inst.info.alu(read(inst.rs1), read(inst.rs2))
+            write(inst.rd, value)
+        elif fmt is Format.I:
+            value = inst.info.alu(read(inst.rs1), inst.imm)
+            write(inst.rd, value)
+        elif fmt is Format.LOAD:
+            address = read(inst.rs1) + inst.imm
+            if address in store_buffer:
+                value = store_buffer[address]
+                forwarded = True
+            else:
+                value = load_word(address)
+            write(inst.rd, value)
+        elif fmt is Format.STORE:
+            address = read(inst.rs1) + inst.imm
+            store_buffer[address] = read(inst.rs2)
+            value = store_buffer[address]
+        else:  # pragma: no cover - bodies are control-less by type
+            raise AssertionError(f"unexpected body instruction {inst}")
+        result.values.append(value)
+        result.addresses.append(address)
+        result.forwarded.append(forwarded)
+        result.is_load.append(fmt is Format.LOAD)
+    return result

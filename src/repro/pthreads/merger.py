@@ -1,0 +1,235 @@
+"""Merging of partially redundant p-threads.
+
+The paper: "Rather than execute two separate p-threads ... we create a
+single p-thread ... that captures both computations.  A merged p-thread
+achieves the same latency tolerance as separate instances of each of
+the original p-threads and incurs less overhead.  Our merging algorithm
+merges p-threads with matching data-flow prefixes ... with register
+renaming and code duplication performed as needed to preserve the
+computational semantics of each of the original component p-threads."
+
+For slice-tree-derived p-threads, a matching dataflow prefix is exactly
+a shared tree path below the common trigger, which in body (execution)
+order is a shared *leading* sequence of instructions.  Merging operates
+on the **unoptimized** bodies — two arms of a slice tree share their
+raw induction prefix even when per-arm optimization would fold it to
+different constants — and the merged body is re-optimized afterwards
+with every component's problem load as a protected target.
+
+The merged body is ``prefix + suffix_A + suffix_B``: the suffixes are
+replicated (the paper's #07/#08/#09 example) and executed back to back.
+Renaming with virtual registers (indices ≥ 32, legal inside a
+p-thread's private renamed context) is applied when an earlier suffix
+defines a register a later suffix still needs from the prefix or seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.pthreads.body import PThreadBody, VIRTUAL_REG_BASE
+from repro.pthreads.optimizer import optimize_body
+from repro.pthreads.pthread import PThreadPrediction, StaticPThread
+
+
+def common_prefix_length(a: Sequence[Instruction], b: Sequence[Instruction]) -> int:
+    """Length of the matching leading instruction sequence."""
+    n = 0
+    for inst_a, inst_b in zip(a, b):
+        if inst_a != inst_b:
+            break
+        n += 1
+    return n
+
+
+def _defined_registers(instructions: Sequence[Instruction]) -> Set[int]:
+    defs = set()
+    for inst in instructions:
+        dest = inst.dest()
+        if dest is not None and dest != 0:
+            defs.add(dest)
+    return defs
+
+
+def _reads_before_writes(instructions: Sequence[Instruction]) -> Set[int]:
+    """Registers a sequence reads before (re)defining them."""
+    reads: Set[int] = set()
+    written: Set[int] = set()
+    for inst in instructions:
+        for src in inst.sources():
+            if src not in written and src != 0:
+                reads.add(src)
+        dest = inst.dest()
+        if dest is not None and dest != 0:
+            written.add(dest)
+    return reads
+
+
+def _rename_suffix(
+    suffix: Sequence[Instruction],
+    conflicts: Set[int],
+    next_virtual: int,
+) -> Tuple[List[Instruction], int]:
+    """Rename every definition of a conflicting register to a virtual
+    register, rewriting internal uses downstream of each renamed def."""
+    mapping: Dict[int, int] = {}
+    out: List[Instruction] = []
+    for inst in suffix:
+        rs1 = mapping.get(inst.rs1, inst.rs1) if inst.rs1 is not None else None
+        rs2 = mapping.get(inst.rs2, inst.rs2) if inst.rs2 is not None else None
+        rd = inst.rd
+        dest = inst.dest()
+        if dest is not None and dest != 0 and dest in conflicts:
+            virtual = next_virtual
+            next_virtual += 1
+            mapping[dest] = virtual
+            rd = virtual
+        elif dest is not None and dest != 0:
+            # A non-conflicting redefinition ends any prior mapping.
+            mapping.pop(dest, None)
+        out.append(inst.renamed(rd=rd, rs1=rs1, rs2=rs2))
+    return out, next_virtual
+
+
+def _max_virtual(instructions: Sequence[Instruction]) -> int:
+    """Offset past any virtual registers already present."""
+    highest = -1
+    for inst in instructions:
+        for reg in (inst.rd, inst.rs1, inst.rs2):
+            if reg is not None and reg >= VIRTUAL_REG_BASE:
+                highest = max(highest, reg - VIRTUAL_REG_BASE)
+    return highest + 1
+
+
+def _overhead_charge(pthreads: Sequence[StaticPThread]) -> float:
+    """Recover the model's per-instruction overhead charge.
+
+    Every p-thread carries ``oh_agg = dc_trig * size * charge``; any one
+    with a nonzero denominator yields the charge (all were scored with
+    the same parameters).
+    """
+    for p in pthreads:
+        denom = p.prediction.dc_trig * p.prediction.size
+        if denom:
+            return p.prediction.oh_agg / denom
+    return 0.0
+
+
+def merge_two(
+    a: StaticPThread, b: StaticPThread, optimize: bool = True
+) -> Optional[StaticPThread]:
+    """Merge two p-threads with the same trigger, if profitable.
+
+    Returns the merged p-thread, or ``None`` when the pair has no
+    matching dataflow prefix (merging would only concatenate).
+    """
+    if a.trigger_pc != b.trigger_pc:
+        return None
+    insts_a = a.original_body.instructions
+    insts_b = b.original_body.instructions
+    prefix_len = common_prefix_length(insts_a, insts_b)
+    if prefix_len == 0:
+        return None
+    prefix = list(insts_a[:prefix_len])
+    suffix_a = list(insts_a[prefix_len:])
+    suffix_b = list(insts_b[prefix_len:])
+
+    # Registers suffix B needs from the prefix/seeds must survive
+    # suffix A; rename suffix A's clobbering definitions.
+    needed_by_b = _reads_before_writes(suffix_b)
+    clobbered_by_a = _defined_registers(suffix_a)
+    conflicts = needed_by_b & clobbered_by_a
+    next_virtual = VIRTUAL_REG_BASE + _max_virtual(insts_a + insts_b)
+    renamed_a, _ = _rename_suffix(suffix_a, conflicts, next_virtual)
+
+    merged_original = PThreadBody(prefix + renamed_a + suffix_b)
+    # Component target positions: A's positions are unchanged (its body
+    # is a prefix of the merged layout); B's suffix positions shift
+    # past suffix A.
+    targets = sorted(
+        set(a.original_targets)
+        | {
+            t if t < prefix_len else t + len(suffix_a)
+            for t in b.original_targets
+        }
+    )
+    if optimize:
+        final_body = optimize_body(merged_original, targets=targets).body
+    else:
+        final_body = merged_original
+
+    dc_trig = max(a.prediction.dc_trig, b.prediction.dc_trig)
+    charge = _overhead_charge([a, b])
+    prediction = PThreadPrediction(
+        dc_trig=dc_trig,
+        size=final_body.size,
+        misses_covered=(
+            a.prediction.misses_covered + b.prediction.misses_covered
+        ),
+        misses_fully_covered=(
+            a.prediction.misses_fully_covered
+            + b.prediction.misses_fully_covered
+        ),
+        lt_agg=a.prediction.lt_agg + b.prediction.lt_agg,
+        oh_agg=dc_trig * final_body.size * charge,
+    )
+    return StaticPThread(
+        trigger_pc=a.trigger_pc,
+        body=final_body,
+        target_load_pcs=tuple(
+            dict.fromkeys(a.target_load_pcs + b.target_load_pcs)
+        ),
+        prediction=prediction,
+        components=a.components + b.components,
+        original_body=merged_original,
+        original_targets=tuple(targets),
+        instances_ahead=max(a.instances_ahead, b.instances_ahead),
+    )
+
+
+def merge_pthreads(
+    pthreads: Sequence[StaticPThread], optimize: bool = True
+) -> List[StaticPThread]:
+    """Greedily merge all p-threads sharing triggers and prefixes.
+
+    P-threads are grouped by trigger PC; within a group, pairs with the
+    longest matching dataflow prefix merge first, repeating until no
+    pair shares a prefix.  The result order is deterministic (by
+    trigger PC, then target loads).
+
+    Args:
+        optimize: re-optimize merged bodies (matches the selection
+            configuration's optimization setting).
+    """
+    by_trigger: Dict[int, List[StaticPThread]] = {}
+    for pthread in pthreads:
+        by_trigger.setdefault(pthread.trigger_pc, []).append(pthread)
+
+    merged_all: List[StaticPThread] = []
+    for trigger_pc in sorted(by_trigger):
+        group = list(by_trigger[trigger_pc])
+        changed = True
+        while changed and len(group) > 1:
+            changed = False
+            best: Optional[Tuple[int, int, int]] = None  # (prefix, i, j)
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    prefix = common_prefix_length(
+                        group[i].original_body.instructions,
+                        group[j].original_body.instructions,
+                    )
+                    if prefix > 0 and (best is None or prefix > best[0]):
+                        best = (prefix, i, j)
+            if best is not None:
+                _, i, j = best
+                merged = merge_two(group[i], group[j], optimize=optimize)
+                if merged is not None:
+                    group = (
+                        group[:i] + group[i + 1 : j] + group[j + 1 :] + [merged]
+                    )
+                    changed = True
+        merged_all.extend(
+            sorted(group, key=lambda p: (p.target_load_pcs, p.size))
+        )
+    return merged_all

@@ -1,0 +1,104 @@
+"""Static p-thread type: trigger + body + model predictions.
+
+A static p-thread is a trigger/body pair (paper §2).  The trigger is a
+PC in the main program; whenever the main thread renames an instance of
+that PC, a dynamic p-thread — a copy of the body seeded with live-in
+register values — is launched.
+
+The framework's diagnostic predictions ride along on the p-thread so
+the validation machinery can compare them against simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Tuple
+
+from repro.pthreads.body import PThreadBody
+
+if TYPE_CHECKING:  # avoid a circular import with repro.model
+    from repro.model.advantage import CandidateScore
+
+
+@dataclass(frozen=True)
+class PThreadPrediction:
+    """Framework predictions for one static p-thread.
+
+    Attributes:
+        dc_trig: predicted dynamic launches (trigger executions).
+        size: instructions per dynamic p-thread.
+        misses_covered: dynamic misses attacked (``DCpt-cm`` summed
+            over components).
+        misses_fully_covered: of those, misses whose full latency the
+            model expects to hide (``LT == Lmem``).
+        lt_agg / oh_agg / adv_agg: aggregate cycles of latency
+            tolerance, overhead, and net advantage.
+    """
+
+    dc_trig: int
+    size: int
+    misses_covered: int
+    misses_fully_covered: int
+    lt_agg: float
+    oh_agg: float
+
+    @property
+    def adv_agg(self) -> float:
+        return self.lt_agg - self.oh_agg
+
+    @property
+    def injected_instructions(self) -> int:
+        """Predicted total p-thread instructions sequenced."""
+        return self.dc_trig * self.size
+
+
+@dataclass(frozen=True)
+class StaticPThread:
+    """A selected static p-thread.
+
+    Attributes:
+        trigger_pc: main-program PC whose rename launches the body.
+        body: the executed body (optimized and possibly merged).
+        target_load_pcs: problem-load PCs this p-thread covers.
+        prediction: aggregate model predictions.
+        components: the per-slice-tree candidate scores this p-thread
+            was assembled from (one per merge component).
+    """
+
+    trigger_pc: int
+    body: PThreadBody
+    target_load_pcs: Tuple[int, ...]
+    prediction: PThreadPrediction
+    components: Tuple["CandidateScore", ...] = field(default=())
+    #: Unoptimized body, the form the merger matches prefixes on.
+    original_body: PThreadBody = None  # type: ignore[assignment]
+    #: Positions of the component problem loads in ``original_body``.
+    original_targets: Tuple[int, ...] = ()
+    #: How many trigger instances ahead the body's target lies — the
+    #: induction-unroll depth (copies of the trigger instruction in the
+    #: unoptimized body).  Branch pre-execution uses it to tag outcome
+    #: hints with the dynamic branch instance they resolve.
+    instances_ahead: int = 0
+
+    def __post_init__(self) -> None:
+        if self.original_body is None:
+            object.__setattr__(self, "original_body", self.body)
+        if not self.original_targets:
+            object.__setattr__(
+                self,
+                "original_targets",
+                (self.original_body.size - 1,),
+            )
+
+    @property
+    def size(self) -> int:
+        return self.body.size
+
+    def describe(self) -> str:
+        targets = ",".join(f"#{pc:04d}" for pc in self.target_load_pcs)
+        return (
+            f"p-thread trigger=#{self.trigger_pc:04d} -> loads {targets} "
+            f"size={self.size} DCtrig={self.prediction.dc_trig} "
+            f"covered={self.prediction.misses_covered} "
+            f"ADVagg={self.prediction.adv_agg:.1f}"
+        )

@@ -1,0 +1,43 @@
+"""P-thread selection: per-tree solver and whole-program drivers."""
+
+from repro.selection.branch_selection import (
+    BranchProfile,
+    problem_branches,
+    profile_branches,
+    select_branch_pthreads,
+)
+from repro.selection.granularity import (
+    GranularSelection,
+    RegionSelection,
+    select_by_region,
+)
+from repro.selection.program_selector import (
+    ProgramPrediction,
+    ProgramSelection,
+    select_pthreads,
+)
+from repro.selection.selector import (
+    TreeCandidate,
+    TreeSelection,
+    enumerate_candidates,
+    is_strict_ancestor,
+    select_from_tree,
+)
+
+__all__ = [
+    "BranchProfile",
+    "GranularSelection",
+    "ProgramPrediction",
+    "ProgramSelection",
+    "RegionSelection",
+    "TreeCandidate",
+    "TreeSelection",
+    "enumerate_candidates",
+    "is_strict_ancestor",
+    "problem_branches",
+    "profile_branches",
+    "select_branch_pthreads",
+    "select_by_region",
+    "select_from_tree",
+    "select_pthreads",
+]

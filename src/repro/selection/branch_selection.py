@@ -1,0 +1,191 @@
+"""Branch pre-execution: p-thread selection for problem branches.
+
+The paper's footnote 1: "Pre-execution has also been proposed as a way
+of dealing with problem (i.e., frequently mis-predicted) branches.
+While we do not explicitly discuss branch pre-execution here, all of
+our methods do apply in that scenario."  This module applies them:
+
+* a *problem branch* is a static conditional branch the front-end
+  predictor mispredicts often;
+* the candidate space is the same slice tree, built from the backward
+  slices of *mispredicted dynamic branch instances* (a branch's slice
+  is its operands' computation — branches produce no register, so
+  trees never contain other branches);
+* the evaluation function is aggregate advantage verbatim, with one
+  reinterpretation: the latency there is to tolerate per covered event
+  is the **misprediction penalty**, not the memory latency — so
+  selection runs with ``Lmem = mispredict_penalty``;
+* at run time a branch p-thread ends in the targeted conditional
+  branch; its early-computed outcome is posted as a *hint* that lets
+  the fetch engine skip the redirect penalty when it matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.trace import Trace
+from repro.frontend.branch_predictor import HybridPredictor
+from repro.isa.opcodes import Format, opinfo, Opcode
+from repro.isa.program import Program
+from repro.model.params import ModelParams, SelectionConstraints
+from repro.selection.program_selector import (
+    ProgramSelection,
+    _candidate_to_pthread,
+    _dc_trig_counts,
+    _effective_coverage,
+    ProgramPrediction,
+)
+from repro.selection.selector import select_from_tree
+from repro.slicing.slice_tree import build_slice_trees_for_roots
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Misprediction statistics for one static conditional branch."""
+
+    pc: int
+    executions: int
+    mispredictions: int
+    mispredicted_indices: Tuple[int, ...]
+
+    @property
+    def rate(self) -> float:
+        if not self.executions:
+            return 0.0
+        return self.mispredictions / self.executions
+
+
+def profile_branches(
+    trace: Trace, program: Program, predictor: Optional[HybridPredictor] = None
+) -> Dict[int, BranchProfile]:
+    """Replay a trace's conditional branches through the predictor.
+
+    Returns per-PC misprediction statistics, including the dynamic
+    indices of mispredicted instances — the roots for slice-tree
+    construction.  Only conditional branches are profiled (direct jumps
+    never mispredict; indirect-jump targets are not in the trace).
+    """
+    predictor = predictor or HybridPredictor()
+    conditional = {
+        inst.pc: int(inst.target)
+        for inst in program.instructions
+        if opinfo(inst.op).fmt is Format.BRANCH
+    }
+    executions: Dict[int, int] = {}
+    mispredicted: Dict[int, List[int]] = {}
+    pcs = trace.pc
+    takens = trace.taken
+    for index in range(len(trace)):
+        pc = int(pcs[index])
+        target = conditional.get(pc)
+        if target is None:
+            continue
+        executions[pc] = executions.get(pc, 0) + 1
+        correct = predictor.predict_and_update(
+            pc, bool(takens[index]), target
+        )
+        if not correct:
+            mispredicted.setdefault(pc, []).append(index)
+    return {
+        pc: BranchProfile(
+            pc=pc,
+            executions=count,
+            mispredictions=len(mispredicted.get(pc, [])),
+            mispredicted_indices=tuple(mispredicted.get(pc, [])),
+        )
+        for pc, count in executions.items()
+    }
+
+
+def problem_branches(
+    profiles: Dict[int, BranchProfile],
+    min_rate: float = 0.05,
+    min_mispredictions: int = 16,
+) -> List[BranchProfile]:
+    """Branches worth attacking, hardest first."""
+    problems = [
+        profile
+        for profile in profiles.values()
+        if profile.rate >= min_rate
+        and profile.mispredictions >= min_mispredictions
+    ]
+    problems.sort(key=lambda p: p.mispredictions, reverse=True)
+    return problems
+
+
+def select_branch_pthreads(
+    program: Program,
+    trace: Trace,
+    params: ModelParams,
+    constraints: Optional[SelectionConstraints] = None,
+    mispredict_penalty: int = 10,
+    min_rate: float = 0.05,
+    min_mispredictions: int = 16,
+) -> ProgramSelection:
+    """Select p-threads that pre-execute problem branches.
+
+    Args:
+        params: model parameters; ``mem_latency`` is ignored — the
+            tolerable latency per covered event is the misprediction
+            penalty.
+        mispredict_penalty: fetch-redirect penalty the machine charges
+            (must match the timing configuration for honest scores).
+        min_rate / min_mispredictions: problem-branch thresholds.
+    """
+    constraints = constraints or SelectionConstraints()
+    branch_params = params.with_mem_latency(max(1, mispredict_penalty))
+    profiles = profile_branches(trace, program)
+    problems = problem_branches(profiles, min_rate, min_mispredictions)
+    roots: List[int] = []
+    for profile in problems:
+        roots.extend(profile.mispredicted_indices)
+    roots.sort()
+    tree_depth = max(constraints.max_pthread_length * 2, 48)
+    trees = build_slice_trees_for_roots(
+        trace, roots, scope=constraints.scope, max_length=tree_depth
+    )
+    dc_trig = _dc_trig_counts(trace, len(program), 0, None)
+
+    pthreads = []
+    tree_selections = {}
+    covered = fully = 0
+    lt_agg_total = 0.0
+    for branch_pc in sorted(trees):
+        tree = trees[branch_pc]
+        selection = select_from_tree(
+            tree, program, dc_trig, branch_params, constraints
+        )
+        tree_selections[branch_pc] = selection
+        effective = _effective_coverage(selection.selected)
+        for candidate in selection.selected:
+            events = effective[id(candidate.node)]
+            pthread = _candidate_to_pthread(candidate, events, branch_params)
+            pthreads.append(pthread)
+            covered += pthread.prediction.misses_covered
+            fully += pthread.prediction.misses_fully_covered
+            lt_agg_total += pthread.prediction.lt_agg
+
+    launches = sum(p.prediction.dc_trig for p in pthreads)
+    injected = sum(p.prediction.injected_instructions for p in pthreads)
+    total_events = sum(p.mispredictions for p in problems)
+    prediction = ProgramPrediction(
+        launches=launches,
+        injected_instructions=injected,
+        misses_covered=covered,
+        misses_fully_covered=fully,
+        lt_agg=lt_agg_total,
+        oh_agg=sum(p.prediction.oh_agg for p in pthreads),
+        sample_instructions=len(trace),
+        sample_l2_misses=total_events,  # here: total mispredictions
+        unassisted_ipc=params.unassisted_ipc,
+        sequencing_width=params.bw_seq,
+    )
+    return ProgramSelection(
+        pthreads=pthreads,
+        tree_selections=tree_selections,
+        prediction=prediction,
+        params=branch_params,
+        constraints=constraints,
+    )

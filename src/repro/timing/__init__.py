@@ -1,0 +1,28 @@
+"""Timing simulation: SMT core model with pre-execution runtime."""
+
+from repro.timing.config import (
+    BASELINE,
+    LATENCY_ONLY,
+    MachineConfig,
+    OVERHEAD_EXECUTE,
+    OVERHEAD_SEQUENCE,
+    PERFECT_L2,
+    PRE_EXECUTION,
+    SimMode,
+)
+from repro.timing.core import Schedule, TimingSimulator
+from repro.timing.stats import SimStats
+
+__all__ = [
+    "BASELINE",
+    "LATENCY_ONLY",
+    "MachineConfig",
+    "OVERHEAD_EXECUTE",
+    "OVERHEAD_SEQUENCE",
+    "PERFECT_L2",
+    "PRE_EXECUTION",
+    "Schedule",
+    "SimMode",
+    "SimStats",
+    "TimingSimulator",
+]

@@ -1,0 +1,633 @@
+"""Trace-driven timing simulator with SMT pre-execution support.
+
+The simulator executes the program functionally (correct path, program
+order) while computing a cycle-level timing model alongside:
+
+* **Sequencing**: the main thread fetches ``bw_seq`` instructions per
+  cycle, minus slots stolen by p-thread injection bursts.  This shared
+  sequencing bandwidth is the paper's overhead mechanism, and the
+  validation experiments confirm it is the dominant cost.
+* **Window**: at most ``window`` instructions in flight; fetch stalls
+  until the instruction ``window`` back has retired.
+* **Dataflow issue**: each instruction starts when its operands are
+  ready and it has been dispatched; completion adds its latency (loads
+  go through the timed memory hierarchy with MSHRs and bus occupancy).
+* **Control**: a hybrid predictor decides which dynamic branches
+  redirect fetch; mispredictions restart fetch after resolution plus a
+  front-end refill penalty.  Wrong-path instructions are not executed
+  (the paper observes wrong-path p-thread launches do not measurably
+  change overhead; see DESIGN.md).
+* **P-threads**: a dynamic p-thread launches when the main thread
+  dispatches its trigger, occupies one of the extra thread contexts,
+  and is injected in bursts (8 instructions every 8 cycles by default).
+  Bodies execute with seed values captured at the trigger — value
+  availability follows the producing main-thread instruction's
+  completion, exactly like a physical-register handoff.  Body stores
+  forward through a private store buffer and never commit.  Body loads
+  prefetch into the L2 only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.decode import (
+    DecodedProgram,
+    K_ALU_I,
+    K_ALU_R,
+    K_BRANCH,
+    K_HALT,
+    K_JAL,
+    K_JR,
+    K_JUMP,
+    K_LOAD,
+    K_NOP,
+    K_STORE,
+)
+from repro.frontend.branch_predictor import HybridPredictor
+from repro.isa.opcodes import Format
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS
+from repro.memory.hierarchy import HierarchyConfig, MemoryLevel, TimedHierarchy
+from repro.memory.main_memory import MainMemory
+from repro.pthreads.pthread import StaticPThread
+from repro.timing.config import BASELINE, MachineConfig, SimMode
+from repro.timing.stats import SimStats
+
+#: Activation schedule: (start_instruction, end_instruction, p-threads).
+Schedule = List[Tuple[int, int, List[StaticPThread]]]
+
+
+class _DecodedBody:
+    """Pre-decoded p-thread body for fast repeated execution."""
+
+    __slots__ = (
+        "size",
+        "kind",
+        "rd",
+        "rs1",
+        "rs2",
+        "imm",
+        "alu",
+        "branch",
+        "pcs",
+        "latency",
+        "live_ins",
+        "bursts",
+        "last_burst_offset",
+    )
+
+    def __init__(self, pthread: StaticPThread, machine: MachineConfig) -> None:
+        body = pthread.body
+        n = body.size
+        self.size = n
+        self.kind: List[int] = []
+        self.rd: List[int] = []
+        self.rs1: List[int] = []
+        self.rs2: List[int] = []
+        self.imm: List[int] = []
+        self.alu: List[Optional[Callable[[int, int], int]]] = []
+        self.branch: List[Optional[Callable[[int, int], bool]]] = []
+        self.pcs: List[int] = []
+        self.latency: List[int] = []
+        for inst in body.instructions:
+            fmt = inst.info.fmt
+            if fmt is Format.R:
+                self.kind.append(K_ALU_R)
+            elif fmt is Format.I:
+                self.kind.append(K_ALU_I)
+            elif fmt is Format.LOAD:
+                self.kind.append(K_LOAD)
+            elif fmt is Format.BRANCH:
+                # Terminal branch of a branch-pre-execution body: its
+                # early outcome is posted as a fetch hint.
+                self.kind.append(K_BRANCH)
+            else:  # store
+                self.kind.append(K_STORE)
+            self.rd.append(inst.rd if inst.rd is not None else 0)
+            self.rs1.append(inst.rs1 if inst.rs1 is not None else 0)
+            self.rs2.append(inst.rs2 if inst.rs2 is not None else 0)
+            self.imm.append(inst.imm)
+            self.alu.append(inst.info.alu)
+            self.branch.append(inst.info.branch)
+            self.pcs.append(inst.pc)
+            self.latency.append(inst.info.latency)
+        self.live_ins = body.live_ins
+        # Injection bursts: (cycle offset, first insn, count).
+        burst, period = machine.pthread_burst, machine.pthread_burst_period
+        self.bursts: List[Tuple[int, int, int]] = []
+        start = 0
+        offset = 0
+        while start < n:
+            count = min(burst, n - start)
+            self.bursts.append((offset, start, count))
+            start += count
+            offset += period
+        self.last_burst_offset = self.bursts[-1][0] if self.bursts else 0
+
+
+class TimingSimulator:
+    """Execution-driven timing model of the SMT pre-execution machine.
+
+    Args:
+        program: the program to run.
+        hierarchy_config: memory-system geometry and latency.
+        machine: core parameters.
+        pthreads: static p-threads active for the whole run (mutually
+            exclusive with ``schedule``).
+        schedule: region-based p-thread activation for granularity
+            experiments.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        hierarchy_config: HierarchyConfig,
+        machine: Optional[MachineConfig] = None,
+        pthreads: Optional[Sequence[StaticPThread]] = None,
+        schedule: Optional[Schedule] = None,
+    ) -> None:
+        if pthreads is not None and schedule is not None:
+            raise ValueError("pass either pthreads or schedule, not both")
+        self.program = program
+        self.decoded = DecodedProgram(program)
+        self.hierarchy_config = hierarchy_config
+        self.machine = machine or MachineConfig()
+        if schedule is None:
+            schedule = [(0, 1 << 62, list(pthreads or []))]
+        self.schedule: Schedule = [
+            (start, end, list(pts)) for start, end, pts in schedule
+        ]
+        self._decoded_bodies: Dict[int, _DecodedBody] = {}
+        for _, _, pts in self.schedule:
+            for pthread in pts:
+                if id(pthread) not in self._decoded_bodies:
+                    self._decoded_bodies[id(pthread)] = _DecodedBody(
+                        pthread, self.machine
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _triggers_for(
+        self, region: Tuple[int, int, List[StaticPThread]]
+    ) -> Dict[int, List[StaticPThread]]:
+        triggers: Dict[int, List[StaticPThread]] = {}
+        for pthread in region[2]:
+            triggers.setdefault(pthread.trigger_pc, []).append(pthread)
+        return triggers
+
+    def run(
+        self,
+        mode: SimMode = BASELINE,
+        max_instructions: int = 50_000_000,
+    ) -> SimStats:
+        """Simulate to ``halt`` (or an instruction cap); returns stats."""
+        machine = self.machine
+        decoded = self.decoded
+        kind = decoded.kind
+        rd_arr = decoded.rd
+        rs1_arr = decoded.rs1
+        rs2_arr = decoded.rs2
+        imm_arr = decoded.imm
+        target_arr = decoded.target
+        alu_arr = decoded.alu
+        branch_arr = decoded.branch
+        lat_arr = decoded.latency
+
+        memory = MainMemory(self.program.data)
+        hierarchy = TimedHierarchy(
+            self.hierarchy_config, perfect_l2=mode.perfect_l2
+        )
+        predictor = HybridPredictor()
+        stats = SimStats(mode=mode.name)
+        prefetcher = None
+        if machine.stride_prefetch:
+            from repro.memory.prefetcher import StridePrefetcher
+
+            prefetcher = StridePrefetcher(degree=machine.stride_degree)
+        miss_exposure = stats.miss_exposure
+
+        bw = machine.bw_seq
+        dispatch_latency = machine.dispatch_latency
+        window = machine.window
+        mispredict_penalty = machine.mispredict_penalty
+        forward_latency = machine.store_forward_latency
+
+        regs = [0] * NUM_REGS
+        reg_ready = [0] * NUM_REGS
+        retire_ring = [0] * window
+        last_retire = 0
+        fetch_cycle = 0
+        cap_used = 0
+        stolen: Dict[int, int] = {}
+        # Store queue: address -> (data ready time, value); bounded.
+        store_queue: Dict[int, Tuple[int, int]] = {}
+        store_queue_limit = 64
+
+        contexts: List[int] = [0] * machine.pthread_contexts
+        # Branch hints from branch-pre-execution p-threads, tagged with
+        # the dynamic branch instance they resolve:
+        # branch pc -> {instance number -> (outcome ready cycle, outcome)}.
+        branch_hints: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        # Dynamic instance counters for hinted branch PCs.
+        branch_counts: Dict[int, int] = {}
+        hinted_pcs = frozenset(
+            pt.body.instructions[-1].pc
+            for _, _, pts in self.schedule
+            for pt in pts
+            if pt.body.targets_branch
+        )
+        launching = mode.launch and any(pts for _, _, pts in self.schedule)
+        region_index = 0
+        region = self.schedule[0]
+        triggers = self._triggers_for(region) if launching else {}
+        region_end = region[1]
+
+        mem_load = memory.load
+        mem_store = memory.store
+        mt_access = hierarchy.mt_access
+
+        pc = 0
+        executed = 0
+
+        while executed < max_instructions:
+            if launching and executed >= region_end:
+                while (
+                    region_index + 1 < len(self.schedule)
+                    and executed >= self.schedule[region_index][1]
+                ):
+                    region_index += 1
+                region = self.schedule[region_index]
+                triggers = self._triggers_for(region)
+                region_end = region[1]
+
+            k = kind[pc]
+            executed += 1
+
+            # ---- fetch: bandwidth (minus stolen slots) and window ----
+            ring_slot = executed % window
+            window_stall = retire_ring[ring_slot]
+            if window_stall > fetch_cycle:
+                fetch_cycle = window_stall
+                cap_used = 0
+            while cap_used >= bw - stolen.get(fetch_cycle, 0):
+                fetch_cycle += 1
+                cap_used = 0
+            f = fetch_cycle
+            cap_used += 1
+            disp = f + dispatch_latency
+            next_pc = pc + 1
+
+            # ---- execute / time ----
+            if k == K_ALU_R:
+                rs1 = rs1_arr[pc]
+                rs2 = rs2_arr[pc]
+                value = alu_arr[pc](regs[rs1], regs[rs2])
+                ready = reg_ready[rs1]
+                r2 = reg_ready[rs2]
+                if r2 > ready:
+                    ready = r2
+                if disp > ready:
+                    ready = disp
+                complete = ready + lat_arr[pc]
+                rd = rd_arr[pc]
+                if rd:
+                    regs[rd] = value
+                    reg_ready[rd] = complete
+            elif k == K_ALU_I:
+                rs1 = rs1_arr[pc]
+                value = alu_arr[pc](regs[rs1], imm_arr[pc])
+                ready = reg_ready[rs1]
+                if disp > ready:
+                    ready = disp
+                complete = ready + lat_arr[pc]
+                rd = rd_arr[pc]
+                if rd:
+                    regs[rd] = value
+                    reg_ready[rd] = complete
+            elif k == K_LOAD:
+                stats.loads += 1
+                rs1 = rs1_arr[pc]
+                addr = regs[rs1] + imm_arr[pc]
+                value = mem_load(addr)
+                ready = reg_ready[rs1]
+                if disp > ready:
+                    ready = disp
+                issue = ready + 1  # address generation
+                forwarded = store_queue.get(addr)
+                if forwarded is not None:
+                    data_ready = forwarded[0]
+                    complete = (
+                        max(issue, data_ready) + forward_latency
+                    )
+                else:
+                    outcome = mt_access(addr, issue)
+                    if outcome.level != MemoryLevel.L1:
+                        stats.l1_misses += 1
+                    complete = outcome.complete
+                    if outcome.level == MemoryLevel.MEM:
+                        exposure = miss_exposure.get(pc)
+                        if exposure is None:
+                            exposure = [0, 0]
+                            miss_exposure[pc] = exposure
+                        exposure[0] += 1
+                        exposed = complete - last_retire
+                        if exposed > 0:
+                            exposure[1] += exposed
+                    if prefetcher is not None:
+                        for target in prefetcher.observe(pc, addr):
+                            hierarchy.pt_access(target, issue)
+                rd = rd_arr[pc]
+                if rd:
+                    regs[rd] = value
+                    reg_ready[rd] = complete
+            elif k == K_STORE:
+                stats.stores += 1
+                rs1 = rs1_arr[pc]
+                rs2 = rs2_arr[pc]
+                addr = regs[rs1] + imm_arr[pc]
+                mem_store(addr, regs[rs2])
+                ready = reg_ready[rs1]
+                if disp > ready:
+                    ready = disp
+                complete = ready + 1
+                mt_access(addr, complete, is_write=True)
+                store_queue[addr] = (max(complete, reg_ready[rs2]), regs[rs2])
+                if len(store_queue) > store_queue_limit:
+                    store_queue.pop(next(iter(store_queue)))
+            elif k == K_BRANCH:
+                stats.branches += 1
+                rs1 = rs1_arr[pc]
+                rs2 = rs2_arr[pc]
+                taken = branch_arr[pc](regs[rs1], regs[rs2])
+                ready = reg_ready[rs1]
+                r2 = reg_ready[rs2]
+                if r2 > ready:
+                    ready = r2
+                if disp > ready:
+                    ready = disp
+                complete = ready + 1
+                target = target_arr[pc]
+                if taken:
+                    next_pc = target
+                correct = predictor.predict_and_update(pc, taken, target)
+                hint = None
+                if pc in hinted_pcs:
+                    instance = branch_counts.get(pc, 0)
+                    branch_counts[pc] = instance + 1
+                    per_pc = branch_hints.get(pc)
+                    if per_pc is not None:
+                        hint = per_pc.pop(instance, None)
+                if not correct:
+                    stats.mispredictions += 1
+                    if (
+                        hint is not None
+                        and hint[0] <= f
+                        and hint[1] == int(taken)
+                    ):
+                        # A p-thread resolved this branch before fetch:
+                        # the front end follows the hint, no redirect.
+                        stats.mispredicts_covered += 1
+                    else:
+                        fetch_cycle = complete + mispredict_penalty
+                        cap_used = 0
+            elif k == K_JUMP:
+                stats.branches += 1
+                complete = disp
+                next_pc = target_arr[pc]
+            elif k == K_JAL:
+                stats.branches += 1
+                complete = disp
+                rd = rd_arr[pc]
+                if rd:
+                    regs[rd] = pc + 1
+                    reg_ready[rd] = complete
+                next_pc = target_arr[pc]
+            elif k == K_JR:
+                stats.branches += 1
+                rs1 = rs1_arr[pc]
+                ready = reg_ready[rs1]
+                if disp > ready:
+                    ready = disp
+                complete = ready + 1
+                next_pc = regs[rs1]
+                correct = predictor.predict_indirect(pc, next_pc)
+                if not correct:
+                    stats.mispredictions += 1
+                    fetch_cycle = complete + mispredict_penalty
+                    cap_used = 0
+            elif k == K_HALT:
+                complete = disp
+                last_retire = max(last_retire, complete)
+                retire_ring[ring_slot] = last_retire
+                break
+            else:  # K_NOP
+                complete = disp
+
+            # ---- in-order retirement ----
+            if complete < last_retire:
+                complete_retire = last_retire
+            else:
+                complete_retire = complete
+            last_retire = complete_retire
+            retire_ring[ring_slot] = complete_retire
+
+            # ---- p-thread launch at trigger dispatch ----
+            if launching:
+                waiting = triggers.get(pc)
+                if waiting is not None:
+                    for pthread in waiting:
+                        self._launch(
+                            pthread,
+                            disp,
+                            mode,
+                            contexts,
+                            stolen,
+                            regs,
+                            reg_ready,
+                            mem_load,
+                            hierarchy,
+                            stats,
+                            branch_hints,
+                            branch_counts,
+                        )
+            # Periodically drop stale stolen-slot entries.
+            if not executed & 0xFFFF:
+                stolen = {
+                    cycle: count
+                    for cycle, count in stolen.items()
+                    if cycle >= fetch_cycle
+                }
+
+            pc = next_pc
+
+        stats.instructions = executed
+        stats.cycles = max(last_retire, fetch_cycle)
+        stats.misses_fully_covered = hierarchy.full_covered
+        stats.misses_partially_covered = hierarchy.partial_covered
+        stats.partial_covered_cycles = hierarchy.partial_covered_cycles
+        stats.prefetches_evicted = hierarchy.evicted_prefetches
+        stats.prefetches_unclaimed = hierarchy.unclaimed_prefetches()
+        stats.pthread_l2_misses = hierarchy.pt_l2_misses
+        # Misses the unassisted program would have taken: actual misses
+        # plus misses converted to hits by coverage.
+        stats.l2_misses = (
+            hierarchy.mt_l2_misses
+            + hierarchy.full_covered
+            + hierarchy.partial_covered
+        )
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _launch(
+        self,
+        pthread: StaticPThread,
+        launch_time: int,
+        mode: SimMode,
+        contexts: List[int],
+        stolen: Dict[int, int],
+        main_regs: List[int],
+        main_ready: List[int],
+        mem_load: Callable[[int], int],
+        hierarchy: TimedHierarchy,
+        stats: SimStats,
+        branch_hints: Optional[Dict[int, Dict[int, Tuple[int, int]]]] = None,
+        branch_counts: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Launch one dynamic p-thread at ``launch_time``."""
+        body = self._decoded_bodies[id(pthread)]
+        trigger = pthread.trigger_pc
+        stats.launches_by_trigger[trigger] = (
+            stats.launches_by_trigger.get(trigger, 0) + 1
+        )
+
+        # Context allocation: drop the launch if none is free.
+        slot = -1
+        for index, busy_until in enumerate(contexts):
+            if busy_until <= launch_time:
+                slot = index
+                break
+        if slot < 0:
+            stats.pthread_drops += 1
+            return
+        contexts[slot] = launch_time + body.last_burst_offset + 1
+        stats.pthread_launches += 1
+        stats.pthread_instructions += body.size
+
+        if mode.steal:
+            for offset, _, count in body.bursts:
+                cycle = launch_time + offset
+                stolen[cycle] = stolen.get(cycle, 0) + count
+        if not mode.execute:
+            return
+
+        # Seed the body's live-ins from the architectural state at the
+        # trigger; availability follows the producer's completion.
+        values: Dict[int, int] = {0: 0}
+        ready: Dict[int, int] = {0: 0}
+        for reg in body.live_ins:
+            if reg < NUM_REGS:
+                values[reg] = main_regs[reg]
+                ready[reg] = main_ready[reg]
+            else:  # virtual register with no seed: reads as zero
+                values[reg] = 0
+                ready[reg] = 0
+
+        store_buffer: Dict[int, Tuple[int, int]] = {}
+        kind = body.kind
+        rd_arr = body.rd
+        rs1_arr = body.rs1
+        rs2_arr = body.rs2
+        imm_arr = body.imm
+        alu_arr = body.alu
+        lat_arr = body.latency
+        burst_index = 0
+        bursts = body.bursts
+        next_burst_start = bursts[0][1] if bursts else 0
+
+        for j in range(body.size):
+            while (
+                burst_index + 1 < len(bursts)
+                and j >= bursts[burst_index + 1][1]
+            ):
+                burst_index += 1
+            inject = launch_time + bursts[burst_index][0]
+            k = kind[j]
+            rs1 = rs1_arr[j]
+            in_ready = ready.get(rs1, 0)
+            if inject + 1 > in_ready:
+                in_ready = inject + 1
+            if k == K_ALU_I:
+                value = alu_arr[j](values.get(rs1, 0), imm_arr[j])
+                complete = in_ready + lat_arr[j]
+            elif k == K_ALU_R:
+                rs2 = rs2_arr[j]
+                r2 = ready.get(rs2, 0)
+                if r2 > in_ready:
+                    in_ready = r2
+                value = alu_arr[j](values.get(rs1, 0), values.get(rs2, 0))
+                complete = in_ready + lat_arr[j]
+            elif k == K_LOAD:
+                addr = values.get(rs1, 0) + imm_arr[j]
+                issue = in_ready + 1
+                buffered = store_buffer.get(addr)
+                if buffered is not None:
+                    data_ready, value = buffered
+                    complete = (
+                        max(issue, data_ready)
+                        + self.machine.store_forward_latency
+                    )
+                else:
+                    value = mem_load(addr)
+                    if mode.prefetch:
+                        outcome = hierarchy.pt_access(addr, issue)
+                    else:
+                        outcome = hierarchy.phantom_access(addr, issue)
+                    complete = outcome.complete
+            elif k == K_BRANCH:
+                # Terminal branch: compute the outcome and post it as a
+                # fetch hint tagged with the dynamic instance it
+                # resolves — `instances_ahead` trigger iterations from
+                # now (minus one when the trigger sits after the branch
+                # in loop order, because that instance already ran).
+                rs2 = rs2_arr[j]
+                r2 = ready.get(rs2, 0)
+                if r2 > in_ready:
+                    in_ready = r2
+                taken = body.branch[j](
+                    values.get(rs1, 0), values.get(rs2, 0)
+                )
+                if mode.prefetch and branch_hints is not None:
+                    branch_pc = body.pcs[j]
+                    seen = (
+                        branch_counts.get(branch_pc, 0)
+                        if branch_counts is not None
+                        else 0
+                    )
+                    offset = pthread.instances_ahead
+                    if pthread.trigger_pc > branch_pc:
+                        offset -= 1
+                    per_pc = branch_hints.setdefault(branch_pc, {})
+                    per_pc[seen + max(0, offset)] = (
+                        in_ready + 1,
+                        int(taken),
+                    )
+                    if len(per_pc) > 64:
+                        for stale in [
+                            key for key in per_pc if key < seen
+                        ]:
+                            del per_pc[stale]
+                continue
+            else:  # K_STORE: private buffer only; never commits
+                rs2 = rs2_arr[j]
+                r2 = ready.get(rs2, 0)
+                if r2 > in_ready:
+                    in_ready = r2
+                addr = values.get(rs1, 0) + imm_arr[j]
+                store_buffer[addr] = (in_ready + 1, values.get(rs2, 0))
+                continue
+            rd = rd_arr[j]
+            if rd:
+                values[rd] = value
+                ready[rd] = complete

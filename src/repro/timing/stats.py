@@ -1,0 +1,121 @@
+"""Timing-simulation statistics.
+
+:class:`SimStats` is the measured half of the paper's Table 2: IPC,
+p-thread launch counts and lengths, and L2-miss coverage classified by
+the cache-block timestamping scheme (fully covered / partially covered
+/ evicted-before-use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters produced by one timing-simulation run."""
+
+    mode: str = "baseline"
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    #: Mispredictions whose redirect penalty a branch p-thread's early
+    #: outcome hint suppressed (branch pre-execution).
+    mispredicts_covered: int = 0
+    # Main-thread memory behaviour.  ``l2_misses`` counts accesses the
+    # *unassisted* program would have missed — i.e. covered misses are
+    # still counted, then classified below.
+    l1_misses: int = 0
+    l2_misses: int = 0
+    misses_fully_covered: int = 0
+    misses_partially_covered: int = 0
+    partial_covered_cycles: int = 0
+    prefetches_evicted: int = 0
+    prefetches_unclaimed: int = 0
+    # P-thread activity.
+    pthread_launches: int = 0
+    pthread_drops: int = 0
+    pthread_instructions: int = 0
+    pthread_l2_misses: int = 0
+    launches_by_trigger: Dict[int, int] = field(default_factory=dict)
+    #: Per static load PC: [miss count, exposed stall cycles].  The
+    #: exposed cycles are a critical-path estimate: how far each miss's
+    #: completion reached past the in-order retirement frontier.  Used
+    #: by the effective-latency selection refinement (the paper's
+    #: "critical path model" future-work direction).
+    miss_exposure: Dict[int, list] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def misses_covered(self) -> int:
+        """Misses covered at all (fully or partially)."""
+        return self.misses_fully_covered + self.misses_partially_covered
+
+    @property
+    def coverage_fraction(self) -> float:
+        if not self.l2_misses:
+            return 0.0
+        return self.misses_covered / self.l2_misses
+
+    @property
+    def full_coverage_fraction(self) -> float:
+        if not self.l2_misses:
+            return 0.0
+        return self.misses_fully_covered / self.l2_misses
+
+    @property
+    def avg_pthread_length(self) -> float:
+        if not self.pthread_launches:
+            return 0.0
+        return self.pthread_instructions / self.pthread_launches
+
+    @property
+    def instruction_overhead(self) -> float:
+        """P-thread instructions per retired main-thread instruction."""
+        if not self.instructions:
+            return 0.0
+        return self.pthread_instructions / self.instructions
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.branches:
+            return 0.0
+        return self.mispredictions / self.branches
+
+    def effective_latency(self, pc: int, default: float) -> float:
+        """Average *exposed* miss latency of static load ``pc``.
+
+        Misses that complete behind the retirement frontier (because
+        they overlapped other misses or useful work) expose only part
+        of the memory latency; this is what latency tolerance can
+        actually buy back.  Returns ``default`` for loads with no
+        recorded misses.
+        """
+        entry = self.miss_exposure.get(pc)
+        if not entry or not entry[0]:
+            return default
+        return entry[1] / entry[0]
+
+    def speedup_over(self, baseline: "SimStats") -> float:
+        """Fractional IPC improvement over a baseline run."""
+        if baseline.ipc <= 0:
+            return 0.0
+        return self.ipc / baseline.ipc - 1.0
+
+    def describe(self) -> str:
+        return (
+            f"[{self.mode}] cycles={self.cycles} insns={self.instructions} "
+            f"IPC={self.ipc:.3f} l2m={self.l2_misses} "
+            f"covered={self.misses_covered} (full {self.misses_fully_covered}) "
+            f"launches={self.pthread_launches} (dropped {self.pthread_drops}) "
+            f"pt-insns={self.pthread_instructions}"
+        )

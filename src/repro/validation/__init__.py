@@ -1,0 +1,15 @@
+"""Model validation utilities."""
+
+from repro.validation.diagnostics import (
+    Diagnostic,
+    correlation_summary,
+    render_validation,
+    validate_result,
+)
+
+__all__ = [
+    "Diagnostic",
+    "correlation_summary",
+    "render_validation",
+    "validate_result",
+]

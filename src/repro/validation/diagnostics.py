@@ -1,0 +1,140 @@
+"""Model validation: framework predictions vs. simulated measurements.
+
+The paper's argument (§4.3): the optimizer provably finds good
+solutions *of its objective*; what needs checking is whether the
+objective — aggregate advantage — models reality.  So the framework's
+implicit diagnostic predictions (launch counts, p-thread lengths,
+overhead-only IPC, miss coverage, end IPC) are compared against the
+corresponding simulations, individually for overhead and latency
+tolerance so inaccuracies can be localized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.harness.experiment import ExperimentResult
+from repro.harness.report import render_table
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One predicted/measured pair."""
+
+    name: str
+    predicted: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted (1.0 = perfect); inf-safe."""
+        if self.predicted == 0:
+            return float("nan") if self.measured else 1.0
+        return self.measured / self.predicted
+
+    @property
+    def relative_error(self) -> float:
+        """(predicted - measured) / measured; positive = overestimate."""
+        if self.measured == 0:
+            return float("nan") if self.predicted else 0.0
+        return (self.predicted - self.measured) / self.measured
+
+
+def validate_result(result: ExperimentResult) -> List[Diagnostic]:
+    """All Table 2 diagnostics for one experiment.
+
+    Requires the experiment to have been run with ``validate=True`` for
+    the overhead/latency IPC diagnostics (they are skipped otherwise).
+    """
+    prediction = result.selection.prediction
+    stats = result.preexec
+    diagnostics = [
+        Diagnostic("launches", prediction.launches, stats.pthread_launches),
+        Diagnostic(
+            "insns_per_pthread",
+            prediction.avg_pthread_length,
+            stats.avg_pthread_length,
+        ),
+        Diagnostic(
+            "misses_covered", prediction.misses_covered, stats.misses_covered
+        ),
+        Diagnostic(
+            "misses_fully_covered",
+            prediction.misses_fully_covered,
+            stats.misses_fully_covered,
+        ),
+        Diagnostic("ipc", prediction.predicted_ipc, stats.ipc),
+    ]
+    overhead = result.validation.get("overhead_sequence")
+    if overhead is not None:
+        diagnostics.append(
+            Diagnostic(
+                "overhead_ipc", prediction.predicted_overhead_ipc, overhead.ipc
+            )
+        )
+    latency = result.validation.get("latency_only")
+    if latency is not None:
+        diagnostics.append(
+            Diagnostic(
+                "latency_ipc", prediction.predicted_latency_ipc, latency.ipc
+            )
+        )
+    return diagnostics
+
+
+def correlation_summary(
+    results: Sequence[ExperimentResult],
+) -> Dict[str, float]:
+    """Pearson correlation of predicted vs. measured, per diagnostic.
+
+    This is the cross-benchmark fidelity measure the paper's validation
+    argues from: high correlation means solutions good in model space
+    are good in the real world, even when absolute values drift.
+    """
+    by_name: Dict[str, List[Diagnostic]] = {}
+    for result in results:
+        for diagnostic in validate_result(result):
+            by_name.setdefault(diagnostic.name, []).append(diagnostic)
+    correlations: Dict[str, float] = {}
+    for name, diagnostics in by_name.items():
+        predicted = np.array([d.predicted for d in diagnostics], dtype=float)
+        measured = np.array([d.measured for d in diagnostics], dtype=float)
+        mask = np.isfinite(predicted) & np.isfinite(measured)
+        predicted, measured = predicted[mask], measured[mask]
+        if len(predicted) < 2 or predicted.std() == 0 or measured.std() == 0:
+            correlations[name] = float("nan")
+            continue
+        correlations[name] = float(np.corrcoef(predicted, measured)[0, 1])
+    return correlations
+
+
+def render_validation(
+    results: Sequence[ExperimentResult],
+    diagnostics_of_interest: Optional[Sequence[str]] = None,
+) -> str:
+    """Tabulate predicted vs. measured per benchmark per diagnostic."""
+    rows = []
+    for result in results:
+        for diagnostic in validate_result(result):
+            if (
+                diagnostics_of_interest is not None
+                and diagnostic.name not in diagnostics_of_interest
+            ):
+                continue
+            rows.append(
+                [
+                    result.workload.name,
+                    diagnostic.name,
+                    diagnostic.predicted,
+                    diagnostic.measured,
+                    diagnostic.ratio,
+                ]
+            )
+    return render_table(
+        ["benchmark", "diagnostic", "predicted", "measured", "meas/pred"],
+        rows,
+        title="Model validation: predicted vs. measured",
+    )

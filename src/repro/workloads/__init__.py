@@ -1,0 +1,38 @@
+"""Synthetic workload suite mirroring the paper's SPEC2000int set."""
+
+from repro.workloads import (
+    bzip2,
+    crafty,
+    gap,
+    gcc,
+    mcf,
+    parser,
+    pharmacy,
+    twolf,
+    vortex,
+    vpr_place,
+    vpr_route,
+)
+from repro.workloads.common import SUITE_HIERARCHY, DataBuilder, mixed_indices
+from repro.workloads.suite import SUITE, Workload, available_inputs, build
+
+__all__ = [
+    "DataBuilder",
+    "SUITE",
+    "SUITE_HIERARCHY",
+    "Workload",
+    "available_inputs",
+    "build",
+    "bzip2",
+    "crafty",
+    "gap",
+    "gcc",
+    "mcf",
+    "mixed_indices",
+    "parser",
+    "pharmacy",
+    "twolf",
+    "vortex",
+    "vpr_place",
+    "vpr_route",
+]

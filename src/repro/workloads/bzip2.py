@@ -1,0 +1,76 @@
+"""``bzip2``-analogue: permutation-indirect block access.
+
+Block-sorting compression spends its time walking permutation vectors:
+``v = data[ptr[i]]`` — a sequential read of an index array followed by
+a data access at the permuted (effectively random) position, plus a
+small counting table.  The miss computation is *dense*: the address is
+a short chain right before the load — per the paper's Figure 4
+discussion, such programs need longer p-threads (induction unrolling)
+rather than wide slicing scopes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_iter=9000, table_words=48 * 1024, seed=21),
+    "test": dict(n_iter=1500, table_words=1536, seed=23),
+}
+
+_SOURCE = """
+start:
+    addi a0, zero, 0           # i
+    addi a1, zero, {n_iter}
+    addi s0, zero, {ptr_base}
+    addi s2, zero, {counts_base}
+    addi t7, zero, {count_mask}
+loop:
+    bge  a0, a1, done
+    lw   t0, 0(s0)             # j = ptr[i]          (sequential)
+    slli t1, t0, 2
+    addi t1, t1, {data_base}
+    lw   t2, 0(t1)             # v = data[j]         (problem load)
+    and  t3, t2, t7            # bucket = v & mask
+    slli t3, t3, 2
+    add  t3, t3, s2
+    lw   t4, 0(t3)             # counts[bucket]      (small, hot)
+    addi t4, t4, 1
+    sw   t4, 0(t3)
+    add  s4, s4, t2            # checksum
+    addi s0, s0, 4             # ptr induction
+    addi a0, a0, 1
+    j    loop
+done:
+    halt
+"""
+
+
+def build(n_iter: int, table_words: int, seed: int) -> Program:
+    """Build the bzip2 analogue.
+
+    Args:
+        n_iter: iterations (each executes one permuted data access).
+        table_words: size of the permuted ``data`` table in words;
+            the ``ptr`` array holds ``n_iter`` indices into it.
+        seed: RNG seed.
+    """
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    ptr_base = data.words(
+        "ptr", (rng.randrange(table_words) for _ in range(n_iter))
+    )
+    data_base = data.random_words("data", table_words, 0, 1 << 20)
+    counts_base = data.words("counts", [0] * 256)
+    source = _SOURCE.format(
+        n_iter=n_iter,
+        ptr_base=ptr_base,
+        data_base=data_base,
+        counts_base=counts_base,
+        count_mask=255,
+    )
+    return assemble(source, data=data.image, name="bzip2")

@@ -1,0 +1,110 @@
+"""``crafty``-analogue: bit manipulation with unpredictable branches.
+
+Chess search is ALU-dominated: bitboard masks, shifts and xors over
+tables that mostly fit in the L2, with data-dependent branches that
+mispredict often.  L2 misses are rare (the paper's crafty has a 0.93M
+misses / 2.6B instructions ratio — the lowest in the suite) and the
+benchmark is the one case where pre-execution *degrades* performance
+slightly (-1%), because there is almost nothing to cover but overhead
+is still paid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_iter=6000, hot_words=2048, cold_words=64 * 1024,
+                  cold_period=23, seed=31),
+    "test": dict(n_iter=1000, hot_words=1024, cold_words=2048,
+                 cold_period=23, seed=33),
+}
+
+_SOURCE = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_iter}
+    addi s1, zero, {hot_base}
+    addi t7, zero, {hot_mask}
+    addi s3, zero, 0x9e3779b9  # mixing constant
+    addi s7, zero, {move_seed} # move-generator state (register-resident,
+    addi u0, zero, {cold_period}   # like real move generation)
+    addi u1, zero, 0           # cold counter
+loop:
+    bge  a0, a1, done
+    slli u4, s7, 13            # generate next move word (xorshift)
+    xor  s7, s7, u4
+    srli u5, s7, 7
+    xor  s7, s7, u5
+    xor  t1, s7, s3            # bit mixing
+    srli t2, t1, 7
+    xor  t1, t1, t2
+    slli t2, t1, 3
+    xor  t1, t1, t2
+    and  t3, t1, t7            # hot table index
+    slli t3, t3, 2
+    add  t3, t3, s1
+    lw   t4, 0(t3)             # attack table (hot: L2 resident)
+    andi t5, t1, 1             # data-dependent branch (mispredicts)
+    beq  t5, zero, evens
+    xor  s4, s4, t4
+    srli t6, t4, 3
+    add  s5, s5, t6
+    j    merge
+evens:
+    add  s4, s4, t4
+    slli t6, t4, 1
+    xor  s5, s5, t6
+merge:
+    addi u1, u1, 1
+    bne  u1, u0, induct        # every cold_period-th: cold lookup
+    addi u1, zero, 0
+    xor  u2, s4, s6            # index depends on the branchy accumulator
+    xor  u2, u2, s5            # AND the previous cold value (s6): the
+    andi u2, u2, {cold_mask}   # slice both fans out across branch paths
+    slli u2, u2, 2             # and chains serially through the prior
+    addi u2, u2, {cold_base}   # miss, so no p-thread can hoist it
+    lw   u3, 0(u2)             # rare cold lookup (the few L2 misses)
+    xor  s6, s6, u3
+induct:
+    addi a0, a0, 1
+    j    loop
+done:
+    halt
+"""
+
+
+def build(
+    n_iter: int, hot_words: int, cold_words: int, cold_period: int, seed: int
+) -> Program:
+    """Build the crafty analogue.
+
+    Args:
+        n_iter: iterations of the move-evaluation loop.
+        hot_words: size of the hot attack table (power of two; stays
+            cache-resident).
+        cold_words: size of the rarely-touched cold table (power of
+            two; the source of the few L2 misses).
+        cold_period: one cold lookup every this many iterations.
+        seed: RNG seed.
+    """
+    if hot_words & (hot_words - 1) or cold_words & (cold_words - 1):
+        raise ValueError("table sizes must be powers of two")
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    hot_base = data.random_words("hot", hot_words, 0, 1 << 20)
+    cold_base = data.random_words("cold", cold_words, 0, 1 << 20)
+    source = _SOURCE.format(
+        n_iter=n_iter,
+        move_seed=rng.getrandbits(30) | 1,
+        hot_base=hot_base,
+        hot_mask=hot_words - 1,
+        cold_base=cold_base,
+        cold_mask=cold_words - 1,
+        cold_period=cold_period,
+    )
+    return assemble(source, data=data.image, name="crafty")

@@ -1,0 +1,93 @@
+"""``gap``-analogue: bags of linked records with per-node arithmetic.
+
+GAP (computational group theory) churns through heap-allocated bags of
+small records.  The analogue walks short linked lists (heads drawn from
+a sequential array, nodes scattered through a large arena) doing a
+little arithmetic at each node.  Chains are short (default 4), so the
+miss computation mixes one easy hop (the head fetch, whose address is
+available early) with a few hard hops (pointer chasing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_lists=2600, chain_length=4, arena_words=64 * 1024, seed=41),
+    "test": dict(n_lists=500, chain_length=4, arena_words=8192, seed=43),
+}
+
+#: Node layout: [next_ptr, value, weight, pad] — 4 words.
+_NODE_WORDS = 4
+
+_SOURCE = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_lists}
+    addi s0, zero, {heads_base}
+outer:
+    bge  a0, a1, done
+    lw   t0, 0(s0)             # node = heads[i]   (sequential read)
+inner:
+    beq  t0, zero, next_list
+    lw   t1, 4(t0)             # node->value       (problem load)
+    lw   t2, 8(t0)             # node->weight
+    mul  t3, t1, t2
+    add  s4, s4, t3
+    srli t4, t3, 5
+    xor  s5, s5, t4
+    lw   t0, 0(t0)             # node = node->next (problem load)
+    j    inner
+next_list:
+    addi s0, s0, 4
+    addi a0, a0, 1
+    j    outer
+done:
+    halt
+"""
+
+
+def build(n_lists: int, chain_length: int, arena_words: int, seed: int) -> Program:
+    """Build the gap analogue.
+
+    Args:
+        n_lists: number of linked lists walked.
+        chain_length: nodes per list.
+        arena_words: size of the node arena in words (node placement is
+            a random shuffle across it).
+        seed: RNG seed.
+    """
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    n_nodes = n_lists * chain_length
+    slots = arena_words // _NODE_WORDS
+    if n_nodes > slots:
+        raise ValueError(
+            f"arena too small: {n_nodes} nodes > {slots} slots"
+        )
+    arena_base = data.region("arena", arena_words)
+    # Scatter nodes across the arena with a random slot permutation.
+    slot_ids = list(range(slots))
+    rng.shuffle(slot_ids)
+    heads = []
+    node_index = 0
+    for _ in range(n_lists):
+        chain = [
+            arena_base + slot_ids[node_index + k] * _NODE_WORDS * 4
+            for k in range(chain_length)
+        ]
+        node_index += chain_length
+        heads.append(chain[0])
+        for position, addr in enumerate(chain):
+            next_ptr = chain[position + 1] if position + 1 < chain_length else 0
+            data.image.store_words(
+                addr,
+                [next_ptr, rng.randint(1, 97), rng.randint(1, 13), 0],
+            )
+    heads_base = data.words("heads", heads)
+    source = _SOURCE.format(n_lists=n_lists, heads_base=heads_base)
+    return assemble(source, data=data.image, name="gap")

@@ -1,0 +1,89 @@
+"""``gcc``-analogue: IR graph walk with operand indirection.
+
+A compiler walks instruction nodes and dereferences their operands.
+The analogue iterates a node table in order (large, so the node reads
+themselves miss at line granularity) and follows two operand indices
+into a separate value table at random positions.  Slices for the
+operand loads pass through the node load — two-level computations of
+moderate density.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_nodes=5200, value_words=48 * 1024, seed=51),
+    "test": dict(n_nodes=900, value_words=2048, seed=53),
+}
+
+#: Node layout: [opcode, op1_index, op2_index, pad] — 4 words.
+_SOURCE = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_nodes}
+    addi s0, zero, {nodes_base}
+loop:
+    bge  a0, a1, done
+    lw   t0, 0(s0)             # opcode        (sequential, line misses)
+    lw   t1, 4(s0)             # op1 index
+    lw   t2, 8(s0)             # op2 index
+    slli t3, t1, 2
+    addi t3, t3, {values_base}
+    lw   t4, 0(t3)             # value[op1]    (problem load)
+    slli t5, t2, 2
+    addi t5, t5, {values_base}
+    lw   t6, 0(t5)             # value[op2]    (problem load)
+    andi u0, t0, 3             # dispatch on opcode class
+    beq  u0, zero, fold_add
+    addi u1, zero, 1
+    beq  u0, u1, fold_xor
+    sub  u2, t4, t6
+    add  s4, s4, u2
+    j    next
+fold_add:
+    add  u2, t4, t6
+    add  s4, s4, u2
+    j    next
+fold_xor:
+    xor  u2, t4, t6
+    xor  s5, s5, u2
+next:
+    addi s0, s0, 16            # node induction
+    addi a0, a0, 1
+    j    loop
+done:
+    halt
+"""
+
+
+def build(n_nodes: int, value_words: int, seed: int) -> Program:
+    """Build the gcc analogue.
+
+    Args:
+        n_nodes: IR nodes walked (16 bytes each).
+        value_words: size of the operand value table in words.
+        seed: RNG seed.
+    """
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    node_words = []
+    for _ in range(n_nodes):
+        node_words.extend(
+            [
+                rng.getrandbits(8),
+                rng.randrange(value_words),
+                rng.randrange(value_words),
+                0,
+            ]
+        )
+    nodes_base = data.words("nodes", node_words)
+    values_base = data.random_words("values", value_words, 0, 1 << 16)
+    source = _SOURCE.format(
+        n_nodes=n_nodes, nodes_base=nodes_base, values_base=values_base
+    )
+    return assemble(source, data=data.image, name="gcc")

@@ -1,0 +1,90 @@
+"""``mcf``-analogue: serial pointer chasing (network simplex).
+
+MCF's minimum-cost-flow solver chases long chains of arc and node
+pointers; every address depends on the value of the *previous* cache
+miss.  This is the pathological case for pre-execution — the paper
+covers only 10% of mcf's L2 misses, and stresses that this is a
+property of program structure, not a selection failure: a p-thread that
+mimics the chain must itself serialize through the same misses, so
+there is almost no sequencing advantage to exploit.
+
+The analogue walks long randomized pointer chains (heads from a
+sequential array), with a couple of arithmetic instructions per node so
+the main thread has *some* non-memory work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_chains=120, chain_length=90, arena_words=96 * 1024, seed=61),
+    "test": dict(n_chains=40, chain_length=30, arena_words=8192, seed=63),
+}
+
+_NODE_WORDS = 4  # [next, cost, flow, pad]
+
+_SOURCE = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_chains}
+    addi s0, zero, {heads_base}
+outer:
+    bge  a0, a1, done
+    lw   t0, 0(s0)             # node = heads[i]
+inner:
+    beq  t0, zero, next_chain
+    lw   t1, 4(t0)             # node->cost    (same line as next ptr)
+    add  s4, s4, t1
+    slt  t2, t1, s5
+    add  s6, s6, t2
+    lw   t0, 0(t0)             # node = node->next   (serial problem load)
+    j    inner
+next_chain:
+    addi s0, s0, 4
+    addi a0, a0, 1
+    j    outer
+done:
+    halt
+"""
+
+
+def build(n_chains: int, chain_length: int, arena_words: int, seed: int) -> Program:
+    """Build the mcf analogue.
+
+    Args:
+        n_chains: number of chains traversed.
+        chain_length: nodes per chain (long, like simplex pivots).
+        arena_words: node arena size in words.
+        seed: RNG seed.
+    """
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    n_nodes = n_chains * chain_length
+    slots = arena_words // _NODE_WORDS
+    if n_nodes > slots:
+        raise ValueError(f"arena too small: {n_nodes} nodes > {slots} slots")
+    arena_base = data.region("arena", arena_words)
+    slot_ids = list(range(slots))
+    rng.shuffle(slot_ids)
+    heads = []
+    node_index = 0
+    for _ in range(n_chains):
+        chain = [
+            arena_base + slot_ids[node_index + k] * _NODE_WORDS * 4
+            for k in range(chain_length)
+        ]
+        node_index += chain_length
+        heads.append(chain[0])
+        for position, addr in enumerate(chain):
+            next_ptr = chain[position + 1] if position + 1 < chain_length else 0
+            data.image.store_words(
+                addr, [next_ptr, rng.randint(1, 1000), 0, 0]
+            )
+    heads_base = data.words("heads", heads)
+    source = _SOURCE.format(n_chains=n_chains, heads_base=heads_base)
+    return assemble(source, data=data.image, name="mcf")

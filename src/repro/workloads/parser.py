@@ -1,0 +1,95 @@
+"""``parser``-analogue: dictionary hashing under a wide instruction span.
+
+The link-grammar parser hashes words into a large dictionary between
+long stretches of parsing work.  The structure the paper calls out: the
+miss computation itself is *sparse and small* (read a word, a few hash
+instructions, probe), but it is spread across a wide dynamic window of
+unrelated work — so parser is sensitive to the slicing **scope**, not
+to p-thread length (Figure 4 discussion).
+
+The analogue reads tokens sequentially, runs a block of independent
+filler arithmetic (the "parsing"), then probes a large hash table with
+a short mixing function of the token.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_tokens=1800, table_words=64 * 1024, filler_blocks=12, seed=71),
+    "test": dict(n_tokens=400, table_words=2048, filler_blocks=12, seed=73),
+}
+
+# One filler block: 4 independent ALU instructions (no memory).
+_FILLER_BLOCK = """
+    addi u0, u0, 3
+    xor  u1, u1, u0
+    slli u2, u0, 1
+    add  u3, u3, u2
+"""
+
+_SOURCE_HEAD = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_tokens}
+    addi s0, zero, {tokens_base}
+    addi t7, zero, {table_mask}
+    addi s3, zero, 0x5bd1e995   # hash salt (loop-invariant)
+loop:
+    bge  a0, a1, done
+    lw   t0, 0(s0)             # token (sequential)
+"""
+
+_SOURCE_TAIL = """
+    xor  t1, t0, s3            # hash mix (pure function of the token)
+    slli t2, t1, 5
+    add  t1, t1, t2
+    srli t3, t1, 11
+    xor  t1, t1, t3
+    and  t4, t1, t7            # bucket index
+    slli t4, t4, 2
+    addi t4, t4, {table_base}
+    lw   t5, 0(t4)             # dictionary probe  (problem load)
+    add  s4, s4, t5            # accumulate (off the address path)
+    addi s0, s0, 4
+    addi a0, a0, 1
+    j    loop
+done:
+    halt
+"""
+
+
+def build(n_tokens: int, table_words: int, filler_blocks: int, seed: int) -> Program:
+    """Build the parser analogue.
+
+    Args:
+        n_tokens: tokens hashed.
+        table_words: dictionary size in words (power of two).
+        filler_blocks: 4-instruction filler blocks between the token
+            read and the hash — widens the dynamic span of the miss
+            computation, making the workload scope-sensitive.
+        seed: RNG seed.
+    """
+    if table_words & (table_words - 1):
+        raise ValueError("table_words must be a power of two")
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    tokens_base = data.words(
+        "tokens", (rng.getrandbits(30) for _ in range(n_tokens))
+    )
+    table_base = data.random_words("table", table_words, 0, 1 << 16)
+    source = (
+        _SOURCE_HEAD.format(
+            n_tokens=n_tokens,
+            tokens_base=tokens_base,
+            table_mask=table_words - 1,
+        )
+        + _FILLER_BLOCK * filler_blocks
+        + _SOURCE_TAIL.format(table_base=table_base)
+    )
+    return assemble(source, data=data.image, name="parser")

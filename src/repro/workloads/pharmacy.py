@@ -1,0 +1,132 @@
+"""The paper's running example: the mythical pharmacy cash register.
+
+This is a line-for-line transcription of Figure 1: a loop over the
+day's transactions that sums the appropriate price for each purchased
+drug.  Load #09 (``drugs[drug_id].price``) is the static problem load —
+its addresses do not form an arithmetic series, so only pre-execution
+can cover its misses.  Three control paths feed it: fully-covered
+transactions skip it, partially-covered ones use ``drug_id`` (#04) and
+the rest use ``generic_drug_id`` (#06) — producing exactly the
+two-armed slice tree of Figure 3.
+
+PC numbering matches the paper: the setup preamble is placed *after*
+the loop so the loop body occupies PCs #00–#13.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder, mixed_indices
+
+#: Coverage codes.
+FULL, PARTIAL, GENERIC = 0, 1, 2
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    # The paper's working-example proportions: 20% FULL / 60% PARTIAL /
+    # 20% GENERIC, with roughly half of the price lookups missing.
+    "train": dict(
+        n_xact=8000, n_drugs=65536, hot_drugs=3072, hot_fraction=0.45, seed=11
+    ),
+    "test": dict(
+        n_xact=1200, n_drugs=1024, hot_drugs=512, hot_fraction=0.45, seed=13
+    ),
+    # The exact Figure 2 scenario (100 iterations) for the worked example.
+    "figure2": dict(
+        n_xact=100, n_drugs=65536, hot_drugs=2048, hot_fraction=0.5, seed=7
+    ),
+}
+
+_SOURCE = """
+start:
+    j    setup
+loop:                          # pc 1..14 == paper #00..#13
+    bge  r4, r1, done          # #00: i >= N_XACT -> exit
+    lw   r6, 0(r5)             # #01: coverage = xact[i].coverage
+    beq  r6, r2, induct        # #02: == FULL -> continue
+    bne  r6, r3, generic       # #03: != PARTIAL -> generic path
+    lw   r7, 4(r5)             # #04: drug_id = xact[i].drug_id
+    j    shift                 # #05
+generic:
+    lw   r7, 8(r5)             # #06: drug_id = xact[i].generic_drug_id
+shift:
+    slli r7, r7, 2             # #07
+    addi r7, r7, {drugs_base}  # #08: &drugs[drug_id].price
+    lw   r8, 0(r7)             # #09: price  (problem load)
+    add  r9, r9, r8            # #10: todays_take += price
+induct:
+    addi r5, r5, 16            # #11: xact induction
+    addi r4, r4, 1             # #12: i++
+    j    loop                  # #13
+done:
+    halt
+setup:
+    addi r4, zero, 0           # i
+    addi r1, zero, {n_xact}    # N_XACT
+    addi r2, zero, {full}      # FULL
+    addi r3, zero, {partial}   # PARTIAL
+    addi r5, zero, {xact_base}
+    addi r9, zero, 0           # todays_take
+    j    loop
+"""
+
+#: PCs of the paper's numbered instructions (paper number -> our PC).
+PAPER_PCS = {paper: paper + 1 for paper in range(14)}
+#: PC of the problem load (#09) and the induction trigger (#11).
+PROBLEM_LOAD_PC = PAPER_PCS[9]
+INDUCTION_PC = PAPER_PCS[11]
+
+
+def build(
+    n_xact: int,
+    n_drugs: int,
+    hot_drugs: int,
+    hot_fraction: float,
+    seed: int,
+    full_fraction: float = 0.20,
+    partial_fraction: float = 0.60,
+) -> Program:
+    """Build the pharmacy program.
+
+    Args:
+        n_xact: transactions (loop iterations).
+        n_drugs: size of the drug price table, in entries (4B each);
+            sized well beyond the L2 for the train input.
+        hot_drugs: entries in the cache-resident hot set.
+        hot_fraction: probability a lookup hits the hot set (controls
+            the miss mix; the paper's example has half the #09
+            instances missing).
+        seed: RNG seed for deterministic data.
+        full_fraction / partial_fraction: coverage-code mix (the
+            remainder is GENERIC).
+    """
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    drug_ids = mixed_indices(rng, n_xact, n_drugs, hot_drugs, hot_fraction)
+    generic_ids = mixed_indices(rng, n_xact, n_drugs, hot_drugs, hot_fraction)
+
+    xact_words = []
+    for i in range(n_xact):
+        draw = rng.random()
+        if draw < full_fraction:
+            coverage = FULL
+        elif draw < full_fraction + partial_fraction:
+            coverage = PARTIAL
+        else:
+            coverage = GENERIC
+        xact_words.extend([coverage, drug_ids[i], generic_ids[i], 0])
+    xact_base = data.words("xact", xact_words)
+    drugs_base = data.words(
+        "drugs", (rng.randint(1, 500) for _ in range(n_drugs))
+    )
+
+    source = _SOURCE.format(
+        n_xact=n_xact,
+        full=FULL,
+        partial=PARTIAL,
+        xact_base=xact_base,
+        drugs_base=drugs_base,
+    )
+    return assemble(source, data=data.image, name="pharmacy")

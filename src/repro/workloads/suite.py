@@ -1,0 +1,104 @@
+"""Workload suite registry.
+
+Maps the paper's ten benchmark/input pairs to their analogue modules
+and provides uniform construction.  ``pharmacy`` (the Figure 1 running
+example) rides along as an eleventh entry for examples and tests but is
+not part of :data:`SUITE` (the Table 1/2 benchmark list).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Any, Dict, List, Optional
+
+from repro.isa.program import Program
+from repro.memory.hierarchy import HierarchyConfig
+from repro.workloads.common import SUITE_HIERARCHY
+
+#: Paper benchmark name -> analogue module (within repro.workloads).
+_MODULES: Dict[str, str] = {
+    "bzip2": "bzip2",
+    "crafty": "crafty",
+    "gap": "gap",
+    "gcc": "gcc",
+    "mcf": "mcf",
+    "parser": "parser",
+    "twolf": "twolf",
+    "vortex": "vortex",
+    "vpr.p": "vpr_place",
+    "vpr.r": "vpr_route",
+    "pharmacy": "pharmacy",
+}
+
+#: The Table 1 / Table 2 benchmark list, in the paper's order.
+SUITE: List[str] = [
+    "bzip2",
+    "crafty",
+    "gap",
+    "gcc",
+    "mcf",
+    "parser",
+    "twolf",
+    "vortex",
+    "vpr.p",
+    "vpr.r",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A built workload: program plus suite-level configuration."""
+
+    name: str
+    input_name: str
+    program: Program
+    hierarchy: HierarchyConfig
+    description: str
+
+
+def _module(name: str) -> ModuleType:
+    if name not in _MODULES:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_MODULES)}"
+        )
+    return importlib.import_module(f"repro.workloads.{_MODULES[name]}")
+
+
+def available_inputs(name: str) -> List[str]:
+    """Input-set names a workload defines (always includes 'train')."""
+    return sorted(_module(name).INPUTS)
+
+
+def build(
+    name: str,
+    input_name: str = "train",
+    hierarchy: Optional[HierarchyConfig] = None,
+    **overrides: Any,
+) -> Workload:
+    """Build a workload by suite name.
+
+    Args:
+        name: suite name ("mcf", "vpr.p", "pharmacy", ...).
+        input_name: which input set ("train" for measurement runs,
+            "test" for the Figure 7 static-selection scenario).
+        hierarchy: cache configuration; defaults to the suite standard.
+        **overrides: per-parameter overrides of the input set.
+    """
+    module = _module(name)
+    if input_name not in module.INPUTS:
+        raise KeyError(
+            f"workload {name!r} has no input {input_name!r}; "
+            f"known: {sorted(module.INPUTS)}"
+        )
+    params = dict(module.INPUTS[input_name])
+    params.update(overrides)
+    program = module.build(**params)
+    return Workload(
+        name=name,
+        input_name=input_name,
+        program=program,
+        hierarchy=hierarchy or SUITE_HIERARCHY,
+        description=(module.__doc__ or "").strip().splitlines()[0],
+    )

@@ -1,0 +1,91 @@
+"""``twolf``-analogue: standard-cell placement cost evaluation.
+
+TimberWolf evaluates placement perturbations: read a net's pin list,
+look up each pin's cell record (scattered over a big cell array), and
+accumulate a bounding-box style cost.  Like parser, the miss
+computations are small but spread out (pins are processed after other
+bookkeeping), making twolf scope-sensitive in the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_moves=2400, n_cells=24 * 1024, filler_blocks=8, seed=81),
+    "test": dict(n_moves=500, n_cells=1024, filler_blocks=8, seed=83),
+}
+
+_FILLER_BLOCK = """
+    addi u0, u0, 7
+    xor  u1, u1, u0
+    srli u2, u1, 2
+    add  u3, u3, u2
+"""
+
+# Cell record: [x, y, width, pad] — 4 words.
+_SOURCE_HEAD = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_moves}
+    addi s0, zero, {pins_base}
+loop:
+    bge  a0, a1, done
+    lw   t0, 0(s0)             # cell index a (sequential pin list)
+    lw   t1, 4(s0)             # cell index b
+"""
+
+_SOURCE_TAIL = """
+    slli t2, t0, 4             # 16-byte cell records
+    addi t2, t2, {cells_base}
+    lw   t3, 0(t2)             # cell_a.x      (problem load)
+    lw   t4, 4(t2)             # cell_a.y
+    slli t5, t1, 4
+    addi t5, t5, {cells_base}
+    lw   t6, 0(t5)             # cell_b.x      (problem load)
+    sub  u4, t3, t6
+    bge  u4, zero, abs_done
+    sub  u4, zero, u4
+abs_done:
+    add  s4, s4, u4            # wire-length cost
+    add  s5, s5, t4
+    addi s0, s0, 8             # pin-list induction
+    addi a0, a0, 1
+    j    loop
+done:
+    halt
+"""
+
+
+def build(n_moves: int, n_cells: int, filler_blocks: int, seed: int) -> Program:
+    """Build the twolf analogue.
+
+    Args:
+        n_moves: placement moves evaluated.
+        n_cells: cells in the placement (16 bytes each).
+        filler_blocks: bookkeeping filler between pin reads and cell
+            lookups (scope sensitivity).
+        seed: RNG seed.
+    """
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    pin_words = []
+    for _ in range(n_moves):
+        pin_words.extend([rng.randrange(n_cells), rng.randrange(n_cells)])
+    pins_base = data.words("pins", pin_words)
+    cell_words = []
+    for _ in range(n_cells):
+        cell_words.extend(
+            [rng.randrange(4096), rng.randrange(4096), rng.randint(1, 16), 0]
+        )
+    cells_base = data.words("cells", cell_words)
+    source = (
+        _SOURCE_HEAD.format(n_moves=n_moves, pins_base=pins_base)
+        + _FILLER_BLOCK * filler_blocks
+        + _SOURCE_TAIL.format(cells_base=cells_base)
+    )
+    return assemble(source, data=data.image, name="twolf")

@@ -1,0 +1,87 @@
+"""``vortex``-analogue: object-database lookups through deep indirection.
+
+Vortex is an object-oriented database: each transaction resolves an
+object id through an object table, follows the object to its attribute
+block, and reads a field — three dependent loads with address
+arithmetic in between.  The slices are long, which is why vortex is the
+paper's example of a benchmark that keeps benefiting as scope/length
+constraints relax beyond the defaults (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_queries=2600, n_objects=12 * 1024, attr_words=48 * 1024, seed=91),
+    "test": dict(n_queries=500, n_objects=512, attr_words=2048, seed=93),
+}
+
+_SOURCE = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_queries}
+    addi s0, zero, {queries_base}
+loop:
+    bge  a0, a1, done
+    lw   t0, 0(s0)             # object id (sequential query stream)
+    slli t1, t0, 2
+    addi t1, t1, {objtable_base}
+    lw   t2, 0(t1)             # obj ptr        (problem load, level 1)
+    lw   t3, 8(t2)             # obj->attr_ptr  (problem load, level 2)
+    lw   t4, 4(t2)             # obj->class
+    andi t5, t4, 7             # field selector
+    slli t5, t5, 2
+    add  t6, t3, t5
+    lw   u0, 0(t6)             # attr field     (problem load, level 3)
+    add  s4, s4, u0
+    xor  s5, s5, t4
+    addi s0, s0, 4
+    addi a0, a0, 1
+    j    loop
+done:
+    halt
+"""
+
+_OBJ_WORDS = 4  # [reserved, class, attr_ptr, pad]
+
+
+def build(n_queries: int, n_objects: int, attr_words: int, seed: int) -> Program:
+    """Build the vortex analogue.
+
+    Args:
+        n_queries: object lookups performed.
+        n_objects: objects in the database.
+        attr_words: attribute arena size in words.
+        seed: RNG seed.
+    """
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    queries_base = data.words(
+        "queries", (rng.randrange(n_objects) for _ in range(n_queries))
+    )
+    # Object records, scattered: allocate object arena and a table of
+    # pointers into it.
+    obj_arena = data.region("objects", n_objects * _OBJ_WORDS)
+    slots = list(range(n_objects))
+    rng.shuffle(slots)
+    attr_base = data.random_words("attrs", attr_words, 0, 1 << 16)
+    obj_ptrs = []
+    for obj_id in range(n_objects):
+        addr = obj_arena + slots[obj_id] * _OBJ_WORDS * 4
+        attr_ptr = attr_base + rng.randrange(max(1, attr_words - 8)) * 4
+        data.image.store_words(
+            addr, [0, rng.getrandbits(16), attr_ptr, 0]
+        )
+        obj_ptrs.append(addr)
+    objtable_base = data.words("objtable", obj_ptrs)
+    source = _SOURCE.format(
+        n_queries=n_queries,
+        queries_base=queries_base,
+        objtable_base=objtable_base,
+    )
+    return assemble(source, data=data.image, name="vortex")

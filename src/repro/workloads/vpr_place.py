@@ -1,0 +1,95 @@
+"""``vpr.p``-analogue: simulated-annealing placement with computed swaps.
+
+VPR's placer picks random blocks with an inline pseudo-random generator
+and evaluates the swap.  Crucially, the *entire address computation is
+register-resident arithmetic* (the multiplicative generator state),
+with no loads on the path — the ideal case for pre-execution, which is
+why the paper's vpr.p reaches the suite's best coverage (82%).  A
+p-thread runs the generator ahead of the main thread by pure induction
+unrolling: each level costs one ``mul`` (3-cycle dataflow height)
+against a full main-thread iteration of sequencing, so lookahead grows
+with every level the length budget allows — vpr is correspondingly
+length-sensitive in the Figure 4 sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.common import DataBuilder
+
+INPUTS: Dict[str, Dict[str, Any]] = {
+    "train": dict(n_swaps=4200, n_blocks=16 * 1024, lcg_seed=88172645463325147, seed=101),
+    "test": dict(n_swaps=900, n_blocks=1024, lcg_seed=362436069363, seed=103),
+}
+
+#: Knuth's MMIX multiplier — odd, so x *= a is invertible mod 2^64.
+_MULTIPLIER = 6364136223846793005
+
+# Block record: [x, y, net, pad] — 4 words.
+_SOURCE = """
+start:
+    addi a0, zero, 0
+    addi a1, zero, {n_swaps}
+    addi s0, zero, {lcg_seed}  # generator state (odd)
+    addi s1, zero, {multiplier}
+    addi t7, zero, {block_mask}
+loop:
+    bge  a0, a1, done
+    mul  s0, s0, s1            # x *= a   (sole induction; pure register)
+    srli t0, s0, 9             # decorrelate low bits
+    and  t0, t0, t7            # block index
+    slli t1, t0, 4             # 16-byte records
+    addi t1, t1, {blocks_base}
+    lw   t2, 0(t1)             # block.x        (problem load)
+    lw   t3, 4(t1)             # block.y
+    add  t4, t2, t3
+    andi t5, t4, 1             # accept test on the loaded data: a
+    beq  t5, zero, reject      # ~50% mispredicted branch, so the
+    add  s4, s4, t2            # unassisted pipeline serializes on the
+    j    next                  # miss — the latency p-threads then hide
+reject:
+    sub  s4, s4, t3
+next:
+    addi u0, u0, 5             # placement bookkeeping (filler)
+    xor  u1, u1, u0
+    srli u2, u1, 3
+    add  u3, u3, u2
+    addi u4, u4, 9
+    xor  u5, u5, u4
+    addi a0, a0, 1
+    j    loop
+done:
+    halt
+"""
+
+
+def build(n_swaps: int, n_blocks: int, lcg_seed: int, seed: int) -> Program:
+    """Build the vpr.p analogue.
+
+    Args:
+        n_swaps: annealing moves evaluated.
+        n_blocks: placeable blocks (power of two; 16 bytes each).
+        lcg_seed: initial generator state (made odd if necessary).
+        seed: RNG seed for the data image.
+    """
+    if n_blocks & (n_blocks - 1):
+        raise ValueError("n_blocks must be a power of two")
+    data = DataBuilder(seed=seed)
+    rng = data.rng
+    block_words = []
+    for _ in range(n_blocks):
+        block_words.extend(
+            [rng.randrange(512), rng.randrange(512), rng.getrandbits(12), 0]
+        )
+    blocks_base = data.words("blocks", block_words)
+    source = _SOURCE.format(
+        n_swaps=n_swaps,
+        lcg_seed=lcg_seed | 1,
+        multiplier=_MULTIPLIER,
+        block_mask=n_blocks - 1,
+        blocks_base=blocks_base,
+    )
+    return assemble(source, data=data.image, name="vpr.p")

@@ -1,0 +1,75 @@
+"""Tests for the pre-decoded program form."""
+
+from repro.engine.decode import (
+    DecodedProgram,
+    K_ALU_I,
+    K_ALU_R,
+    K_BRANCH,
+    K_HALT,
+    K_JAL,
+    K_JR,
+    K_JUMP,
+    K_LOAD,
+    K_NOP,
+    K_STORE,
+)
+from repro.isa import assemble
+
+
+SOURCE = """
+start:
+    add  r1, r2, r3
+    addi r4, r5, 6
+    lw   r7, 8(r9)
+    sw   r7, 12(r9)
+    beq  r1, r4, start
+    j    start
+    jal  ra, start
+    jr   ra
+    nop
+    halt
+"""
+
+
+class TestDecodedProgram:
+    def test_kinds(self):
+        decoded = DecodedProgram(assemble(SOURCE))
+        assert decoded.kind == [
+            K_ALU_R,
+            K_ALU_I,
+            K_LOAD,
+            K_STORE,
+            K_BRANCH,
+            K_JUMP,
+            K_JAL,
+            K_JR,
+            K_NOP,
+            K_HALT,
+        ]
+
+    def test_operands(self):
+        decoded = DecodedProgram(assemble(SOURCE))
+        assert decoded.rd[0] == 1 and decoded.rs1[0] == 2 and decoded.rs2[0] == 3
+        assert decoded.imm[1] == 6
+        assert decoded.imm[2] == 8 and decoded.rs1[2] == 9
+        assert decoded.rs2[3] == 7  # stored value
+
+    def test_targets_resolved(self):
+        decoded = DecodedProgram(assemble(SOURCE))
+        assert decoded.target[4] == 0
+        assert decoded.target[5] == 0
+
+    def test_alu_functions_attached(self):
+        decoded = DecodedProgram(assemble(SOURCE))
+        assert decoded.alu[0] is not None
+        assert decoded.alu[0](2, 3) == 5
+        assert decoded.branch[4] is not None
+        assert decoded.branch[4](1, 1)
+
+    def test_latencies(self):
+        decoded = DecodedProgram(assemble("mul r1, r2, r3\nhalt"))
+        assert decoded.latency[0] == 3
+
+    def test_len(self):
+        decoded = DecodedProgram(assemble(SOURCE))
+        assert len(decoded) == 10

@@ -1,0 +1,43 @@
+"""Tests for the cyclic sampling controller."""
+
+import pytest
+
+from repro.engine.sampler import ALWAYS_ON, CyclicSampler, Phase
+from repro.engine.functional import run_program
+from repro.isa import assemble
+
+
+class TestCyclicSampler:
+    def test_phase_boundaries(self):
+        sampler = CyclicSampler(off=10, warm=5, on=5)
+        assert sampler.period == 20
+        assert sampler.phase(0) == Phase.OFF
+        assert sampler.phase(9) == Phase.OFF
+        assert sampler.phase(10) == Phase.WARM
+        assert sampler.phase(14) == Phase.WARM
+        assert sampler.phase(15) == Phase.ON
+        assert sampler.phase(19) == Phase.ON
+        assert sampler.phase(20) == Phase.OFF  # next period
+
+    def test_always_on(self):
+        assert all(ALWAYS_ON.phase(i) == Phase.ON for i in range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclicSampler(off=0, warm=0, on=0)
+        with pytest.raises(ValueError):
+            CyclicSampler(off=-1, warm=0, on=1)
+
+    def test_sampled_trace_is_subset(self, sum_loop_program, tiny_hierarchy):
+        full = run_program(sum_loop_program, tiny_hierarchy)
+        sampler = CyclicSampler(off=100, warm=50, on=50)
+        sampled = run_program(
+            sum_loop_program, tiny_hierarchy, sampler=sampler
+        )
+        assert sampled.instructions == full.instructions
+        assert 0 < sampled.traced_instructions < full.traced_instructions
+
+    def test_off_phase_skips_caches(self, sum_loop_program, tiny_hierarchy):
+        sampler = CyclicSampler(off=1_000_000, warm=1, on=1)
+        result = run_program(sum_loop_program, tiny_hierarchy, sampler=sampler)
+        assert result.l2_misses == 0  # whole run inside the off phase

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_workloads, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(["run", "pharmacy", "--validate"])
+        assert args.workload == "pharmacy"
+        assert args.validate
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "spec2077"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "8b"])
+        assert args.which == "8b"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_workloads_filter(self):
+        assert _parse_workloads("mcf, vpr.r") == ["mcf", "vpr.r"]
+        assert len(_parse_workloads(None)) == 10
+        with pytest.raises(SystemExit):
+            _parse_workloads("nope")
+
+
+class TestExecution:
+    def test_run_pharmacy(self, capsys, monkeypatch):
+        # Shrink pharmacy so the CLI test stays fast.
+        from repro.workloads import pharmacy
+
+        monkeypatch.setitem(
+            pharmacy.INPUTS,
+            "train",
+            dict(
+                n_xact=500, n_drugs=8192, hot_drugs=512,
+                hot_fraction=0.45, seed=11,
+            ),
+        )
+        assert main(["run", "pharmacy"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "trigger" in out
+
+    def test_table1_single_workload(self, capsys, monkeypatch):
+        from repro.workloads import pharmacy
+
+        monkeypatch.setitem(
+            pharmacy.INPUTS,
+            "train",
+            dict(
+                n_xact=500, n_drugs=8192, hot_drugs=512,
+                hot_fraction=0.45, seed=11,
+            ),
+        )
+        assert main(["table1", "--workloads", "pharmacy"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "pharmacy" in out

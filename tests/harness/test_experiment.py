@@ -1,0 +1,132 @@
+"""Tests for the end-to-end experiment pipeline (on the small pharmacy).
+
+These are integration-grade but kept fast by overriding workload input
+parameters through the runner's workload cache.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, ExperimentRunner
+from repro.model.params import SelectionConstraints
+from repro.timing.config import MachineConfig
+from repro.workloads.suite import Workload, build
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """A runner whose pharmacy workload is pre-seeded with a small build."""
+    runner = ExperimentRunner()
+    for input_name in ("train", "test"):
+        small = build(
+            "pharmacy",
+            input_name,
+            n_xact=700 if input_name == "train" else 300,
+            n_drugs=16384,
+            hot_drugs=1024,
+        )
+        runner._workloads[("pharmacy", input_name, None)] = small
+        runner._workloads[("pharmacy", input_name, small.hierarchy)] = small
+    return runner
+
+
+class TestPipeline:
+    def test_basic_run(self, runner):
+        result = runner.run(ExperimentConfig(workload="pharmacy"))
+        assert result.baseline.ipc > 0
+        assert result.preexec.instructions == result.baseline.instructions
+        assert result.selection.pthreads
+        assert result.preexec.pthread_launches > 0
+
+    def test_speedup_positive_for_pharmacy(self, runner):
+        result = runner.run(ExperimentConfig(workload="pharmacy"))
+        assert result.speedup > 0.0
+        assert result.coverage > 0.5
+
+    def test_validation_modes_present(self, runner):
+        result = runner.run(
+            ExperimentConfig(workload="pharmacy", validate=True)
+        )
+        assert set(result.validation) == {
+            "overhead_execute",
+            "overhead_sequence",
+            "latency_only",
+            "perfect_l2",
+        }
+        assert result.validation["perfect_l2"].ipc >= result.baseline.ipc
+
+    def test_summary_row_keys(self, runner):
+        row = runner.run(ExperimentConfig(workload="pharmacy")).summary_row()
+        for key in (
+            "base_ipc",
+            "preexec_ipc",
+            "speedup_pct",
+            "coverage_pct",
+            "full_coverage_pct",
+            "overhead_pct",
+            "pthread_len",
+            "launches",
+        ):
+            assert key in row
+
+    def test_caching_reuses_traces(self, runner):
+        runner.run(ExperimentConfig(workload="pharmacy"))
+        traces_before = dict(runner._traces)
+        runner.run(
+            ExperimentConfig(
+                workload="pharmacy",
+                constraints=SelectionConstraints(max_pthread_length=16),
+            )
+        )
+        for key in traces_before:
+            assert runner._traces[key] is traces_before[key]
+
+
+class TestConfigurationKnobs:
+    def test_granularity_produces_regions(self, runner):
+        result = runner.run(
+            ExperimentConfig(workload="pharmacy", granularity=3000)
+        )
+        assert result.num_regions > 1
+
+    def test_selection_prefix(self, runner):
+        result = runner.run(
+            ExperimentConfig(workload="pharmacy", selection_prefix=2500)
+        )
+        assert (
+            result.selection.prediction.sample_instructions <= 2500
+        )
+
+    def test_selection_on_test_input(self, runner):
+        result = runner.run(
+            ExperimentConfig(workload="pharmacy", selection_input="test")
+        )
+        # Measured on train regardless of the selection profile.
+        baseline = runner.run(ExperimentConfig(workload="pharmacy")).baseline
+        assert result.baseline.instructions == baseline.instructions
+
+    def test_model_latency_override_changes_pthreads(self, runner):
+        short = runner.run(
+            ExperimentConfig(workload="pharmacy", model_mem_latency=10)
+        )
+        long = runner.run(
+            ExperimentConfig(workload="pharmacy", model_mem_latency=140)
+        )
+        if short.selection.pthreads and long.selection.pthreads:
+            assert (
+                long.selection.prediction.avg_pthread_length
+                >= short.selection.prediction.avg_pthread_length
+            )
+
+    def test_machine_width_flows_to_model(self, runner):
+        result = runner.run(
+            ExperimentConfig(
+                workload="pharmacy", machine=MachineConfig(bw_seq=4)
+            )
+        )
+        assert result.selection.params.bw_seq == 4
+
+    def test_model_width_override(self, runner):
+        result = runner.run(
+            ExperimentConfig(workload="pharmacy", model_bw_seq=2)
+        )
+        assert result.selection.params.bw_seq == 2

@@ -1,0 +1,51 @@
+"""Unit tests for FigureData bookkeeping (no simulations)."""
+
+from types import SimpleNamespace
+
+from repro.harness.figures import FIGURE_METRICS, FigureData
+
+
+def fake_result(**metrics):
+    row = {
+        "base_ipc": 1.0,
+        "preexec_ipc": 1.2,
+        "speedup_pct": 20.0,
+        "coverage_pct": 80.0,
+        "full_coverage_pct": 40.0,
+        "overhead_pct": 10.0,
+        "pthread_len": 8.0,
+        "launches": 100.0,
+        "static_pthreads": 2.0,
+    }
+    row.update(metrics)
+    return SimpleNamespace(summary_row=lambda: row)
+
+
+class TestFigureData:
+    def test_series_accumulate_in_order(self):
+        figure = FigureData(title="T", bar_labels=["a", "b"])
+        figure.add("mcf", fake_result(speedup_pct=1.0))
+        figure.add("mcf", fake_result(speedup_pct=2.0))
+        assert figure.series("mcf", "speedup_pct") == [1.0, 2.0]
+
+    def test_all_summary_metrics_recorded(self):
+        figure = FigureData(title="T", bar_labels=["a"])
+        figure.add("mcf", fake_result())
+        for metric in FIGURE_METRICS:
+            assert metric in figure.data["mcf"]
+        assert "launches" in figure.data["mcf"]
+
+    def test_render_contains_labels_and_benchmarks(self):
+        figure = FigureData(title="My Figure", bar_labels=["x", "y"])
+        figure.add("gap", fake_result())
+        figure.add("gap", fake_result())
+        text = figure.render()
+        assert "My Figure" in text
+        assert "gap coverage_pct" in text
+        assert "x" in text and "y" in text
+
+    def test_results_tracked_per_benchmark(self):
+        figure = FigureData(title="T", bar_labels=["a"])
+        result = fake_result()
+        figure.add("gap", result)
+        assert figure.results["gap"] == [result]

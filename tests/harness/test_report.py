@@ -1,0 +1,61 @@
+"""Tests for the plain-text report renderer."""
+
+from repro.harness.report import fmt, render_series, render_table
+
+
+class TestFmt:
+    def test_float_precision(self):
+        assert fmt(3.14159, 2) == "3.14"
+        assert fmt(3.14159, 0) == "3"
+
+    def test_int_plain(self):
+        assert fmt(42) == "42"
+
+    def test_none_blank(self):
+        assert fmt(None) == "-"
+
+    def test_nan_blank(self):
+        assert fmt(float("nan")) == "-"
+
+    def test_string_passthrough(self):
+        assert fmt("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1.0], ["bb", 22.5]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "22.50" in text
+
+    def test_column_width_adapts(self):
+        text = render_table(["x"], [["very-long-cell"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row)
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_structure(self):
+        data = {
+            "mcf": {"speedup_pct": [1.0, 2.0], "coverage_pct": [10.0, 20.0]},
+        }
+        text = render_series(
+            "Fig", ["c1", "c2"], ["speedup_pct", "coverage_pct"], data
+        )
+        assert "Fig" in text
+        assert "mcf speedup_pct" in text
+        assert "c1" in text and "c2" in text
+
+    def test_missing_metric_skipped(self):
+        data = {"mcf": {"speedup_pct": [1.0]}}
+        text = render_series("Fig", ["c1"], ["speedup_pct", "nope"], data)
+        assert "nope" not in text

@@ -1,0 +1,133 @@
+"""End-to-end integration: the full paper pipeline on real workloads."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, ExperimentRunner
+from repro.model.params import SelectionConstraints
+from repro.workloads.suite import build
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """Runner seeded with reduced-size train inputs for speed."""
+    runner = ExperimentRunner()
+    overrides = {
+        "pharmacy": dict(n_xact=900, n_drugs=16384, hot_drugs=1024),
+        "vpr.r": dict(n_expansions=900, n_nodes=8192),
+        "mcf": dict(n_chains=30, chain_length=40, arena_words=16 * 1024),
+    }
+    for name, params in overrides.items():
+        small = build(name, "train", **params)
+        runner._workloads[(name, "train", None)] = small
+        runner._workloads[(name, "train", small.hierarchy)] = small
+    return runner
+
+
+class TestPharmacyEndToEnd:
+    def test_pre_execution_improves_pharmacy(self, runner):
+        result = runner.run(ExperimentConfig(workload="pharmacy"))
+        assert result.speedup > 0.10
+        assert result.coverage > 0.70
+
+    def test_merged_pthread_structure(self, runner):
+        """The selected p-threads must be the paper's: triggered by the
+        induction, built from folded unrolling + the two arms."""
+        result = runner.run(ExperimentConfig(workload="pharmacy"))
+        from repro.workloads import pharmacy
+
+        triggers = {p.trigger_pc for p in result.selection.pthreads}
+        assert pharmacy.INDUCTION_PC in triggers
+        main = max(
+            result.selection.pthreads,
+            key=lambda p: p.prediction.misses_covered,
+        )
+        # Folded induction: one addi with a multi-iteration stride.
+        first = main.body.instructions[0]
+        assert first.imm % 16 == 0 and first.imm >= 32
+
+    def test_predictions_track_measurements(self, runner):
+        result = runner.run(
+            ExperimentConfig(workload="pharmacy", validate=True)
+        )
+        prediction = result.selection.prediction
+        stats = result.preexec
+        assert stats.pthread_launches <= prediction.launches
+        assert stats.pthread_launches >= 0.5 * prediction.launches
+        measured_cov = stats.coverage_fraction
+        predicted_cov = prediction.coverage_fraction
+        assert abs(measured_cov - predicted_cov) < 0.25
+        overhead = result.validation["overhead_sequence"]
+        assert overhead.ipc == pytest.approx(
+            prediction.predicted_overhead_ipc, rel=0.25
+        )
+
+
+class TestContrastingWorkloads:
+    def test_vpr_route_highly_coverable(self, runner):
+        result = runner.run(ExperimentConfig(workload="vpr.r"))
+        assert result.coverage > 0.5
+        assert result.speedup > 0.0
+
+    def test_mcf_structurally_limited(self, runner):
+        """The pointer chase: covered misses exist, but full coverage
+        and speedup stay small — the paper's central mcf observation."""
+        result = runner.run(ExperimentConfig(workload="mcf"))
+        assert result.full_coverage < 0.5
+        assert abs(result.speedup) < 0.35
+
+    def test_vpr_beats_mcf(self, runner):
+        vpr = runner.run(ExperimentConfig(workload="vpr.r"))
+        mcf = runner.run(ExperimentConfig(workload="mcf"))
+        assert vpr.speedup > mcf.speedup
+
+
+class TestConstraintResponse:
+    def test_scope_length_relaxation_monotone_lt(self, runner):
+        tight = runner.run(
+            ExperimentConfig(
+                workload="pharmacy",
+                constraints=SelectionConstraints(
+                    scope=64, max_pthread_length=4
+                ),
+            )
+        )
+        loose = runner.run(
+            ExperimentConfig(
+                workload="pharmacy",
+                constraints=SelectionConstraints(
+                    scope=1024, max_pthread_length=32
+                ),
+            )
+        )
+        assert (
+            loose.selection.prediction.lt_agg
+            >= tight.selection.prediction.lt_agg
+        )
+        assert loose.full_coverage >= tight.full_coverage
+
+    def test_memory_latency_response(self, runner):
+        """Selecting for a longer latency must produce longer p-threads
+        (the Figure 8 'intuitive response')."""
+        short = runner.run(
+            ExperimentConfig(workload="pharmacy", model_mem_latency=35)
+        )
+        long = runner.run(
+            ExperimentConfig(workload="pharmacy", model_mem_latency=140)
+        )
+        if short.selection.pthreads and long.selection.pthreads:
+            assert (
+                long.selection.prediction.avg_pthread_length
+                >= short.selection.prediction.avg_pthread_length
+            )
+
+    def test_self_validation_beats_cross_validation(self, runner):
+        """p70(t70) >= p70(t140-ish): p-threads selected for the actual
+        latency should not lose to over-specified ones."""
+        self_val = runner.run(
+            ExperimentConfig(workload="pharmacy")
+        )
+        over_spec = runner.run(
+            ExperimentConfig(workload="pharmacy", model_mem_latency=280)
+        )
+        # Allow small noise; the self-selected set must be competitive.
+        assert self_val.preexec.ipc >= over_spec.preexec.ipc * 0.93

@@ -1,0 +1,31 @@
+"""Cross-checks between the functional and timing engines.
+
+Both engines execute programs independently; architectural outcomes and
+memory-system *functional* behaviour must agree exactly.
+"""
+
+import pytest
+
+from repro.engine import run_program
+from repro.timing import BASELINE, TimingSimulator
+from repro.workloads import SUITE, build
+
+
+@pytest.mark.parametrize("name", SUITE + ["pharmacy"])
+def test_engines_agree_on_all_workloads(name):
+    workload = build(name, "test")
+    functional = run_program(workload.program, workload.hierarchy)
+    timing = TimingSimulator(workload.program, workload.hierarchy).run(BASELINE)
+    assert timing.instructions == functional.instructions
+    assert timing.loads == functional.loads
+    assert timing.stores == functional.stores
+    assert timing.branches == functional.branches
+    # Same cache model, same reference stream: identical L2 misses.
+    assert timing.l2_misses == functional.l2_misses
+
+
+@pytest.mark.parametrize("name", ["mcf", "vpr.r"])
+def test_ipc_within_physical_bounds(name):
+    workload = build(name, "test")
+    timing = TimingSimulator(workload.program, workload.hierarchy).run(BASELINE)
+    assert 0.0 < timing.ipc <= 8.0

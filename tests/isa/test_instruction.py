@@ -1,0 +1,95 @@
+"""Tests for the Instruction dataclass and dataflow queries."""
+
+from repro.isa.instruction import Instruction, format_instruction
+from repro.isa.opcodes import Opcode
+
+
+def alu(rd=1, rs1=2, rs2=3):
+    return Instruction(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+
+class TestDataflowQueries:
+    def test_r_format_sources(self):
+        assert alu().sources() == (2, 3)
+        assert alu().dest() == 1
+
+    def test_i_format_sources(self):
+        inst = Instruction(Opcode.ADDI, rd=4, rs1=5, imm=7)
+        assert inst.sources() == (5,)
+        assert inst.dest() == 4
+
+    def test_load_sources_and_dest(self):
+        inst = Instruction(Opcode.LW, rd=6, rs1=7, imm=8)
+        assert inst.sources() == (7,)
+        assert inst.dest() == 6
+        assert inst.is_load and inst.is_mem
+
+    def test_store_sources_no_dest(self):
+        inst = Instruction(Opcode.SW, rs1=7, rs2=6, imm=8)
+        assert inst.sources() == (7, 6)
+        assert inst.dest() is None
+        assert inst.is_store
+
+    def test_branch_sources_no_dest(self):
+        inst = Instruction(Opcode.BEQ, rs1=1, rs2=2, target=5)
+        assert inst.sources() == (1, 2)
+        assert inst.dest() is None
+        assert inst.is_branch and inst.is_control
+
+    def test_jump_has_no_operands(self):
+        inst = Instruction(Opcode.J, target=0)
+        assert inst.sources() == ()
+        assert inst.dest() is None
+
+    def test_jal_writes_link_register(self):
+        inst = Instruction(Opcode.JAL, rd=1, target=0)
+        assert inst.dest() == 1
+
+    def test_jr_reads_register(self):
+        inst = Instruction(Opcode.JR, rs1=1)
+        assert inst.sources() == (1,)
+
+    def test_halt_flag(self):
+        assert Instruction(Opcode.HALT).is_halt
+
+
+class TestManipulation:
+    def test_with_pc_preserves_equality(self):
+        a = alu()
+        b = a.with_pc(17)
+        assert b.pc == 17
+        assert a == b  # pc excluded from comparison
+
+    def test_with_target(self):
+        inst = Instruction(Opcode.J, target="loop")
+        assert inst.with_target(3).target == 3
+
+    def test_renamed_partial(self):
+        inst = alu().renamed(rd=9)
+        assert (inst.rd, inst.rs1, inst.rs2) == (9, 2, 3)
+        inst = alu().renamed(rs1=9, rs2=10)
+        assert (inst.rd, inst.rs1, inst.rs2) == (1, 9, 10)
+
+    def test_equality_ignores_pc(self):
+        assert alu().with_pc(1) == alu().with_pc(2)
+
+
+class TestFormatting:
+    def test_r_format(self):
+        assert str(alu()) == "add r1, r2, r3"
+
+    def test_load_store_format(self):
+        assert str(Instruction(Opcode.LW, rd=6, rs1=7, imm=8)) == "lw r6, 8(r7)"
+        assert str(Instruction(Opcode.SW, rs1=7, rs2=6, imm=-4)) == "sw r6, -4(r7)"
+
+    def test_branch_format(self):
+        assert (
+            str(Instruction(Opcode.BNE, rs1=1, rs2=2, target="loop"))
+            == "bne r1, r2, loop"
+        )
+
+    def test_abi_formatting(self):
+        text = format_instruction(
+            Instruction(Opcode.ADD, rd=8, rs1=0, rs2=4), abi=True
+        )
+        assert text == "add t0, zero, a0"

@@ -1,0 +1,57 @@
+"""Tests for register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    ALIASES,
+    NUM_REGS,
+    parse_register,
+    register_name,
+)
+
+
+class TestParseRegister:
+    def test_numeric_names(self):
+        assert parse_register("r0") == 0
+        assert parse_register("r31") == 31
+
+    def test_aliases(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("t0") == 8
+        assert parse_register("s0") == 16
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_register("  T0 ") == 8
+        assert parse_register("ZERO") == 0
+
+    @pytest.mark.parametrize("bad", ["r32", "r-1", "x5", "", "rr1", "r"])
+    def test_invalid_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_register(bad)
+
+    def test_all_aliases_in_range(self):
+        assert sorted(ALIASES.values()) == list(range(NUM_REGS))
+
+
+class TestRegisterName:
+    def test_plain_names(self):
+        assert register_name(0) == "r0"
+        assert register_name(8) == "r8"
+
+    def test_abi_names(self):
+        assert register_name(0, abi=True) == "zero"
+        assert register_name(8, abi=True) == "t0"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            register_name(-1)
+
+    def test_virtual_registers_render(self):
+        assert register_name(NUM_REGS) == "v0"
+        assert register_name(NUM_REGS + 12) == "v12"
+
+    def test_round_trip(self):
+        for idx in range(NUM_REGS):
+            assert parse_register(register_name(idx)) == idx
+            assert parse_register(register_name(idx, abi=True)) == idx

@@ -1,0 +1,131 @@
+"""Tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=32):
+    return Cache(
+        CacheConfig(
+            name="T",
+            size_bytes=assoc * sets * line,
+            line_bytes=line,
+            assoc=assoc,
+            hit_latency=1,
+        )
+    )
+
+
+class TestConfig:
+    def test_num_sets(self):
+        config = CacheConfig("T", 1024, 32, 2, 1)
+        assert config.num_sets == 16
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("T", 1000, 32, 2, 1)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("T", 1024, 24, 2, 1)
+
+
+class TestAccess:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_same_line_different_word_hits(self):
+        cache = small_cache(line=32)
+        cache.access(0)
+        assert cache.access(28)
+        assert not cache.access(32)  # next line
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        a, b, c = 0, 32, 64  # all map to the single set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is MRU
+        cache.access(c)  # evicts b (LRU)
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_probe_does_not_update_lru(self):
+        cache = small_cache(assoc=2, sets=1)
+        a, b, c = 0, 32, 64
+        cache.access(a)
+        cache.access(b)  # LRU order: b, a
+        cache.probe(a)  # must NOT promote a
+        cache.access(c)  # evicts a
+        assert not cache.probe(a)
+        assert cache.probe(b)
+
+    def test_probe_does_not_count_stats(self):
+        cache = small_cache()
+        cache.probe(0)
+        assert cache.accesses == 0
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access(0, is_write=True)
+        cache.access(32)  # evict dirty line
+        assert cache.writebacks == 1
+        cache.access(64)  # evict clean line
+        assert cache.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access(0)
+        cache.access(0, is_write=True)
+        cache.access(32)
+        assert cache.writebacks == 1
+
+    def test_fill_installs_without_stats(self):
+        cache = small_cache()
+        cache.fill(0)
+        assert cache.probe(0)
+        assert cache.accesses == 0 and cache.misses == 0
+
+    def test_fill_existing_line_is_noop(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.fill(0)
+        cache.fill(0)
+        assert cache.resident_lines() == 1
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(0)
+        assert cache.invalidate(0)
+        assert not cache.probe(0)
+        assert not cache.invalidate(0)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        assert cache.miss_rate() == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate() == 0.5
+
+    def test_reset_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.accesses == 0 and cache.misses == 0
+
+    def test_capacity_bound(self):
+        cache = small_cache(assoc=2, sets=4)
+        for i in range(100):
+            cache.access(i * 32)
+        assert cache.resident_lines() <= 8
+
+    def test_line_addr(self):
+        cache = small_cache(line=32)
+        assert cache.line_addr(0) == 0
+        assert cache.line_addr(31) == 0
+        assert cache.line_addr(32) == 32
+        assert cache.line_addr(100) == 96

@@ -1,0 +1,51 @@
+"""Tests for sparse main memory."""
+
+import pytest
+
+from repro.isa.program import DataImage
+from repro.memory.main_memory import MainMemory, MemoryAlignmentError
+
+
+class TestMainMemory:
+    def test_uninitialized_reads_zero(self):
+        assert MainMemory().load(1024) == 0
+
+    def test_store_load(self):
+        memory = MainMemory()
+        memory.store(64, -7)
+        assert memory.load(64) == -7
+
+    def test_image_initialization(self):
+        image = DataImage()
+        image.store_words(128, [10, 20])
+        memory = MainMemory(image)
+        assert memory.load(128) == 10
+        assert memory.load(132) == 20
+
+    def test_image_is_copied(self):
+        image = DataImage()
+        image.store_word(0, 1)
+        memory = MainMemory(image)
+        memory.store(0, 2)
+        assert image.load_word(0) == 1
+
+    def test_alignment_enforced(self):
+        memory = MainMemory()
+        with pytest.raises(MemoryAlignmentError):
+            memory.load(3)
+        with pytest.raises(MemoryAlignmentError):
+            memory.store(5, 1)
+
+    def test_snapshot_restore(self):
+        memory = MainMemory()
+        memory.store(0, 1)
+        snap = memory.snapshot()
+        memory.store(0, 2)
+        memory.restore(snap)
+        assert memory.load(0) == 1
+
+    def test_len_counts_words(self):
+        memory = MainMemory()
+        memory.store(0, 1)
+        memory.store(4, 2)
+        assert len(memory) == 2

@@ -1,0 +1,56 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.memory.mshr import MshrFile
+
+
+class TestMshr:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    def test_lookup_miss_returns_none(self):
+        mshrs = MshrFile(4)
+        assert mshrs.lookup(0x100, now=0) is None
+
+    def test_merge_returns_ready_time(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(0x100, now=0, ready=70)
+        assert mshrs.lookup(0x100, now=10) == 70
+        assert mshrs.merges == 1
+
+    def test_entries_expire(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(0x100, now=0, ready=70)
+        assert mshrs.lookup(0x100, now=71) is None
+        assert mshrs.outstanding(71) == 0
+
+    def test_full_delays_new_allocation(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(0x000, now=0, ready=50)
+        mshrs.allocate(0x040, now=0, ready=80)
+        ready = mshrs.allocate(0x080, now=0, ready=70)
+        # Delayed by the earliest completion (50 cycles).
+        assert ready == 70 + 50
+        assert mshrs.full_stalls == 1
+
+    def test_not_full_no_delay(self):
+        mshrs = MshrFile(3)
+        mshrs.allocate(0x000, now=0, ready=50)
+        assert mshrs.allocate(0x040, now=0, ready=60) == 60
+        assert mshrs.full_stalls == 0
+
+    def test_outstanding_counts(self):
+        mshrs = MshrFile(8)
+        for i in range(5):
+            mshrs.allocate(i * 64, now=0, ready=100)
+        assert mshrs.outstanding(0) == 5
+        assert mshrs.outstanding(100) == 0
+
+    def test_reset(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(0x100, now=0, ready=70)
+        mshrs.reset()
+        assert mshrs.outstanding(0) == 0
+        assert mshrs.allocations == 0

@@ -1,0 +1,108 @@
+"""Tests for aggregate advantage beyond the Figure 2 golden numbers."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.model.advantage import (
+    evaluate_candidate,
+    instruction_latency,
+    main_thread_scdh,
+    pthread_scdh,
+)
+from repro.model.params import ModelParams
+from repro.pthreads.body import PThreadBody
+
+
+def chain_body(n_addis):
+    """addi chain feeding a load."""
+    insts = [
+        Instruction(Opcode.ADDI, rd=5, rs1=5, imm=16, pc=11)
+        for _ in range(n_addis)
+    ]
+    insts.append(Instruction(Opcode.LW, rd=8, rs1=5, imm=0, pc=9))
+    return insts
+
+
+PARAMS = ModelParams(bw_seq=8, unassisted_ipc=1.0, mem_latency=70, load_latency=2)
+
+
+class TestInstructionLatency:
+    def test_loads_use_model_latency(self):
+        load = Instruction(Opcode.LW, rd=1, rs1=2)
+        assert instruction_latency(load, PARAMS) == 2
+
+    def test_alu_uses_isa_latency(self):
+        mul = Instruction(Opcode.MUL, rd=1, rs1=2, rs2=3)
+        assert instruction_latency(mul, PARAMS) == 3
+
+
+class TestScdhSides:
+    def test_pthread_side_dense(self):
+        body = PThreadBody(chain_body(3))
+        height = pthread_scdh(body, PARAMS)
+        # Serial addi chain: 1 (SC) + 3 latencies, then the load's SC=4.
+        assert height == pytest.approx(4.0)
+
+    def test_main_thread_side_sparse(self):
+        insts = chain_body(3)
+        # One loop iteration (say 14 instructions) between each addi.
+        dists = [15, 29, 43, 45]
+        height = main_thread_scdh(insts, dists, PARAMS)
+        assert height > pthread_scdh(PThreadBody(insts), PARAMS)
+
+    def test_distance_vector_length_checked(self):
+        with pytest.raises(ValueError):
+            main_thread_scdh(chain_body(1), [1, 2, 3], PARAMS)
+
+
+class TestCandidateProperties:
+    def make(self, n_addis, iteration_length=14, dc_trig=100, dc_ptcm=50):
+        insts = chain_body(n_addis)
+        dists = [
+            1 + (n_addis - i) * iteration_length for i in range(n_addis)
+        ]
+        dists.append(dists[-1] + 2 if n_addis else 2)
+        # distances must increase along the body; rebuild properly:
+        dists = [1 + (i + 1) * iteration_length for i in range(n_addis)]
+        dists.append(n_addis * iteration_length + 3)
+        return evaluate_candidate(
+            trigger_pc=11,
+            load_pc=9,
+            depth=len(insts),
+            original=insts,
+            mt_distances=dists,
+            executed_body=PThreadBody(insts),
+            dc_trig=dc_trig,
+            dc_pt_cm=dc_ptcm,
+            params=PARAMS,
+        )
+
+    def test_lt_never_negative(self):
+        assert self.make(0).lt >= 0.0
+
+    def test_lt_capped(self):
+        deep = self.make(30)
+        assert deep.lt <= PARAMS.mem_latency
+
+    def test_unrolling_increases_tolerance_until_cap(self):
+        lts = [self.make(n).lt for n in (1, 4, 8, 16)]
+        assert lts == sorted(lts)
+
+    def test_overhead_grows_with_size(self):
+        assert self.make(8).oh > self.make(2).oh
+
+    def test_aggregates(self):
+        s = self.make(4, dc_trig=200, dc_ptcm=80)
+        assert s.lt_agg == pytest.approx(80 * s.lt)
+        assert s.oh_agg == pytest.approx(200 * s.oh)
+        assert s.adv_agg == pytest.approx(s.lt_agg - s.oh_agg)
+
+    def test_useless_pthreads_cost_without_benefit(self):
+        precise = self.make(4, dc_trig=100, dc_ptcm=50)
+        wasteful = self.make(4, dc_trig=1000, dc_ptcm=50)
+        assert wasteful.adv_agg < precise.adv_agg
+
+    def test_describe_mentions_key_stats(self):
+        text = self.make(4).describe()
+        assert "ADVagg" in text and "DCtrig" in text

@@ -1,0 +1,56 @@
+"""Tests for sequencing-constrained dataflow height."""
+
+import pytest
+
+from repro.model.scdh import scdh_input_height, scdh_profile
+
+
+class TestScdhProfile:
+    def test_independent_instructions_follow_sequencing(self):
+        completion = scdh_profile([1, 2, 3], [1, 1, 1], [(), (), ()])
+        assert completion == [2, 3, 4]
+
+    def test_dependence_dominates_sequencing(self):
+        completion = scdh_profile([1, 2, 3], [5, 1, 1], [(), (0,), (1,)])
+        assert completion == [6, 7, 8]
+
+    def test_sequencing_dominates_dependence(self):
+        completion = scdh_profile([1, 10, 20], [1, 1, 1], [(), (0,), (1,)])
+        assert completion == [2, 11, 21]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            scdh_profile([1], [1, 2], [()])
+
+    def test_forward_dependence_rejected(self):
+        with pytest.raises(ValueError):
+            scdh_profile([1, 2], [1, 1], [(1,), ()])
+
+
+class TestInputHeight:
+    def test_excludes_target_latency(self):
+        # Target is the last instruction; its own latency must not count.
+        height = scdh_input_height([1, 2], [1, 99], [(), (0,)])
+        assert height == 2  # producer completes at 2; SC is 2
+
+    def test_target_sequencing_constraint_applies(self):
+        height = scdh_input_height([1, 50], [1, 1], [(), (0,)])
+        assert height == 50
+
+    def test_no_deps_uses_sequencing_only(self):
+        assert scdh_input_height([7], [1], [()]) == 7
+
+    def test_explicit_target_position(self):
+        height = scdh_input_height(
+            [1, 2, 3], [1, 1, 1], [(), (0,), ()], target=1
+        )
+        assert height == 2  # max(SC=2, completion[0]=2)
+
+    def test_target_bounds_checked(self):
+        with pytest.raises(ValueError):
+            scdh_input_height([1], [1], [()], target=5)
+
+    def test_monotone_in_sequencing_constraints(self):
+        base = scdh_input_height([1, 2, 3], [1, 1, 1], [(), (0,), (1,)])
+        slower = scdh_input_height([2, 4, 6], [1, 1, 1], [(), (0,), (1,)])
+        assert slower >= base

@@ -1,0 +1,106 @@
+"""Property-based tests on the analytical model's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.model.advantage import evaluate_candidate
+from repro.model.params import ModelParams
+from repro.model.scdh import scdh_input_height, scdh_profile
+from repro.pthreads.body import PThreadBody
+
+
+@st.composite
+def linear_computation(draw):
+    """A serial computation: SCs increasing, chain dependences."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.25, max_value=8.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    sc = []
+    total = 0.0
+    for gap in gaps:
+        total += gap
+        sc.append(total)
+    latencies = draw(
+        st.lists(st.integers(1, 4), min_size=n, max_size=n)
+    )
+    deps = [() if i == 0 else (i - 1,) for i in range(n)]
+    return sc, latencies, deps
+
+
+@given(computation=linear_computation())
+@settings(max_examples=150, deadline=None)
+def test_scdh_completion_monotone_along_chain(computation):
+    sc, latencies, deps = computation
+    completion = scdh_profile(sc, latencies, deps)
+    assert all(b > a for a, b in zip(completion, completion[1:]))
+
+
+@given(computation=linear_computation(), scale=st.floats(1.0, 4.0))
+@settings(max_examples=100, deadline=None)
+def test_scdh_monotone_in_sequencing(computation, scale):
+    sc, latencies, deps = computation
+    base = scdh_input_height(sc, latencies, deps)
+    slower = scdh_input_height([x * scale for x in sc], latencies, deps)
+    assert slower >= base
+
+
+@given(computation=linear_computation())
+@settings(max_examples=100, deadline=None)
+def test_scdh_height_at_least_sequencing(computation):
+    sc, latencies, deps = computation
+    assert scdh_input_height(sc, latencies, deps) >= sc[-1]
+
+
+def chain_candidate(n_addis, mem_latency, dc_trig, dc_ptcm, iteration=12):
+    insts = [
+        Instruction(Opcode.ADDI, rd=5, rs1=5, imm=16, pc=11)
+        for _ in range(n_addis)
+    ]
+    insts.append(Instruction(Opcode.LW, rd=8, rs1=5, imm=0, pc=9))
+    dists = [1.0 + (i + 1) * iteration for i in range(n_addis)]
+    dists.append((n_addis * iteration) + 3.0)
+    params = ModelParams(
+        bw_seq=8, unassisted_ipc=1.0, mem_latency=mem_latency, load_latency=2
+    )
+    return evaluate_candidate(
+        trigger_pc=11,
+        load_pc=9,
+        depth=len(insts),
+        original=insts,
+        mt_distances=dists,
+        executed_body=PThreadBody(insts),
+        dc_trig=dc_trig,
+        dc_pt_cm=dc_ptcm,
+        params=params,
+    )
+
+
+@given(
+    n_addis=st.integers(0, 20),
+    mem_latency=st.integers(8, 280),
+    dc_trig=st.integers(1, 100_000),
+    dc_ptcm=st.integers(0, 100_000),
+)
+@settings(max_examples=150, deadline=None)
+def test_candidate_invariants(n_addis, mem_latency, dc_trig, dc_ptcm):
+    dc_ptcm = min(dc_ptcm, dc_trig)
+    score = chain_candidate(n_addis, mem_latency, dc_trig, dc_ptcm)
+    assert 0.0 <= score.lt <= mem_latency
+    assert score.oh >= 0.0
+    assert score.lt_agg == score.dc_pt_cm * score.lt
+    assert score.oh_agg == score.dc_trig * score.oh
+    assert score.adv_agg == score.lt_agg - score.oh_agg
+
+
+@given(n_addis=st.integers(0, 16))
+@settings(max_examples=50, deadline=None)
+def test_unrolling_monotone_tolerance(n_addis):
+    shallow = chain_candidate(n_addis, 280, 100, 50)
+    deeper = chain_candidate(n_addis + 1, 280, 100, 50)
+    assert deeper.lt >= shallow.lt

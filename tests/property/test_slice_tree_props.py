@@ -1,0 +1,89 @@
+"""Property-based tests: slice-tree invariants over random programs.
+
+Random loopy programs with indirect loads are generated, traced, and
+sliced; the tree invariants from the paper must hold regardless of
+program shape.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.functional import run_program
+from repro.isa import DataImage, assemble
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.slicing.slice_tree import build_slice_trees
+
+HIERARCHY = HierarchyConfig(
+    l1=CacheConfig("L1D", 512, 32, 2, 2),
+    l2=CacheConfig("L2", 2048, 64, 4, 6),
+    mem_latency=70,
+    mshr_entries=8,
+)
+
+
+@st.composite
+def indirect_loop_program(draw):
+    """A loop loading through an index array with a random path split."""
+    iterations = draw(st.integers(min_value=8, max_value=60))
+    stride = draw(st.sampled_from([4, 8, 16]))
+    split = draw(st.integers(min_value=1, max_value=7))
+    source = f"""
+        addi a0, zero, 0
+        addi a1, zero, {iterations}
+        addi s0, zero, 65536
+    loop:
+        bge  a0, a1, done
+        lw   t0, 0(s0)
+        andi t1, t0, 7
+        addi t2, zero, {split}
+        blt  t1, t2, left
+        slli t3, t0, 2
+        j    merge
+    left:
+        slli t3, t0, 3
+    merge:
+        addi t3, t3, 1048576
+        lw   t4, 0(t3)
+        add  s4, s4, t4
+        addi s0, s0, {stride}
+        addi a0, a0, 1
+        j    loop
+    done:
+        halt
+    """
+    seed = draw(st.integers(0, 1 << 30))
+    data = DataImage()
+    import random
+
+    rng = random.Random(seed)
+    for i in range(iterations * (stride // 4) + 4):
+        data.store_word(65536 + i * 4, rng.randrange(1 << 14))
+    return assemble(source, data=data)
+
+
+@given(program=indirect_loop_program(), scope=st.sampled_from([32, 128, 1024]))
+@settings(max_examples=40, deadline=None)
+def test_tree_invariants_hold(program, scope):
+    result = run_program(program, HIERARCHY)
+    trees = build_slice_trees(result.trace, scope=scope, max_length=24)
+    for tree in trees.values():
+        tree.check_invariants()
+
+
+@given(program=indirect_loop_program())
+@settings(max_examples=30, deadline=None)
+def test_miss_partition(program):
+    result = run_program(program, HIERARCHY)
+    trees = build_slice_trees(result.trace)
+    total = sum(tree.total_misses() for tree in trees.values())
+    assert total == len(result.trace.miss_indices(3))
+
+
+@given(program=indirect_loop_program())
+@settings(max_examples=30, deadline=None)
+def test_dist_pl_strictly_increases_on_paths(program):
+    result = run_program(program, HIERARCHY)
+    for tree in build_slice_trees(result.trace).values():
+        for node in tree.nodes():
+            for child in node.children.values():
+                assert child.dist_pl > node.dist_pl

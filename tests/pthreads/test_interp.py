@@ -1,0 +1,77 @@
+"""Tests for the p-thread body reference interpreter."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pthreads.body import PThreadBody
+from repro.pthreads.interp import execute_body
+
+
+def addi(rd, rs1, imm):
+    return Instruction(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+
+class TestExecuteBody:
+    def test_seeds_feed_computation(self):
+        body = PThreadBody([addi(1, 2, 5)])
+        out = execute_body(body, {2: 10}, lambda addr: 0)
+        assert out.values == [15]
+
+    def test_missing_seed_reads_zero(self):
+        body = PThreadBody([addi(1, 2, 5)])
+        out = execute_body(body, {}, lambda addr: 0)
+        assert out.values == [5]
+
+    def test_r0_stays_zero(self):
+        body = PThreadBody([addi(0, 0, 9), addi(1, 0, 1)])
+        out = execute_body(body, {}, lambda addr: 0)
+        assert out.values == [9, 1]  # value computed, write discarded
+
+    def test_load_reads_program_memory(self):
+        body = PThreadBody([Instruction(Opcode.LW, rd=1, rs1=2, imm=4)])
+        out = execute_body(body, {2: 100}, lambda addr: addr * 2)
+        assert out.addresses == [104]
+        assert out.values == [208]
+        assert out.forwarded == [False]
+
+    def test_store_forwarding(self):
+        body = PThreadBody(
+            [
+                Instruction(Opcode.SW, rs2=3, rs1=2, imm=0),
+                Instruction(Opcode.LW, rd=1, rs1=2, imm=0),
+            ]
+        )
+        out = execute_body(body, {2: 100, 3: 42}, lambda addr: -1)
+        assert out.values[1] == 42
+        assert out.forwarded == [False, True]
+
+    def test_stores_never_touch_program_memory(self):
+        touched = []
+
+        def load(addr):
+            touched.append(addr)
+            return 0
+
+        body = PThreadBody([Instruction(Opcode.SW, rs2=3, rs1=2, imm=0)])
+        execute_body(body, {2: 100}, load)
+        assert touched == []
+
+    def test_memory_addresses_excludes_forwarded(self):
+        body = PThreadBody(
+            [
+                Instruction(Opcode.SW, rs2=3, rs1=2, imm=0),
+                Instruction(Opcode.LW, rd=1, rs1=2, imm=0),
+                Instruction(Opcode.LW, rd=4, rs1=2, imm=8),
+            ]
+        )
+        out = execute_body(body, {2: 100}, lambda addr: 0)
+        assert out.memory_addresses() == [108]
+
+    def test_r_format_ops(self):
+        body = PThreadBody(
+            [
+                Instruction(Opcode.MUL, rd=3, rs1=1, rs2=2),
+                Instruction(Opcode.XOR, rd=4, rs1=3, rs2=1),
+            ]
+        )
+        out = execute_body(body, {1: 6, 2: 7}, lambda addr: 0)
+        assert out.values == [42, 42 ^ 6]

@@ -1,0 +1,183 @@
+"""Tests for dataflow-prefix merging."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pthreads.body import PThreadBody, VIRTUAL_REG_BASE
+from repro.pthreads.interp import execute_body
+from repro.pthreads.merger import (
+    common_prefix_length,
+    merge_pthreads,
+    merge_two,
+)
+from repro.pthreads.pthread import PThreadPrediction, StaticPThread
+
+
+def addi(rd, rs1, imm, pc=-1):
+    return Instruction(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm, pc=pc)
+
+
+def slli(rd, rs1, imm, pc=-1):
+    return Instruction(Opcode.SLLI, rd=rd, rs1=rs1, imm=imm, pc=pc)
+
+
+def lw(rd, rs1, imm=0, pc=-1):
+    return Instruction(Opcode.LW, rd=rd, rs1=rs1, imm=imm, pc=pc)
+
+
+def make_pthread(trigger, insts, load_pc=9, dc_trig=100, covered=30, lt_agg=240.0):
+    body = PThreadBody(insts)
+    prediction = PThreadPrediction(
+        dc_trig=dc_trig,
+        size=body.size,
+        misses_covered=covered,
+        misses_fully_covered=covered,
+        lt_agg=lt_agg,
+        oh_agg=dc_trig * body.size * 0.125,
+    )
+    return StaticPThread(
+        trigger_pc=trigger,
+        body=body,
+        target_load_pcs=(load_pc,),
+        prediction=prediction,
+    )
+
+
+#: The paper's two pharmacy p-threads (F and J in Figure 3).
+F_INSTS = [addi(5, 5, 16), lw(7, 5, 4), slli(7, 7, 2), addi(7, 7, 8192), lw(8, 7)]
+J_INSTS = [addi(5, 5, 16), lw(7, 5, 8), slli(7, 7, 2), addi(7, 7, 8192), lw(8, 7)]
+
+
+class TestCommonPrefix:
+    def test_shared_induction(self):
+        assert common_prefix_length(F_INSTS, J_INSTS) == 1
+
+    def test_identical(self):
+        assert common_prefix_length(F_INSTS, F_INSTS) == 5
+
+    def test_disjoint(self):
+        assert common_prefix_length(F_INSTS, [lw(1, 2)]) == 0
+
+
+class TestMergeTwo:
+    def test_paper_merge_shape(self):
+        """F + J merge: shared #11 prefix, both suffixes replicated —
+        the paper's six-unique-instruction / nine-total merged p-thread."""
+        merged = merge_two(
+            make_pthread(11, F_INSTS), make_pthread(11, J_INSTS, covered=10)
+        )
+        assert merged is not None
+        assert merged.body.size == 9
+        assert merged.trigger_pc == 11
+        assert merged.prediction.misses_covered == 40
+        assert merged.prediction.lt_agg == pytest.approx(480.0)
+
+    def test_merged_semantics_per_component(self):
+        a, b = make_pthread(11, F_INSTS), make_pthread(11, J_INSTS)
+        merged = merge_two(a, b)
+        memory = {addr: addr * 3 for addr in range(0, 200000, 4)}
+        load = lambda addr: memory.get(addr, 0)
+        seeds = {5: 1000}
+        out_a = execute_body(a.body, dict(seeds), load)
+        out_b = execute_body(b.body, dict(seeds), load)
+        out_m = execute_body(merged.body, dict(seeds), load)
+        merged_addrs = [
+            addr for addr in out_m.addresses if addr is not None
+        ]
+        assert out_a.addresses[-1] in merged_addrs
+        assert out_b.addresses[-1] in merged_addrs
+
+    def test_different_triggers_not_merged(self):
+        assert merge_two(make_pthread(11, F_INSTS), make_pthread(12, J_INSTS)) is None
+
+    def test_no_common_prefix_not_merged(self):
+        a = make_pthread(11, F_INSTS)
+        b = make_pthread(11, [lw(1, 6), lw(2, 1)])
+        assert merge_two(a, b) is None
+
+    def test_conflicting_suffix_renamed_to_virtual(self):
+        # Suffix A clobbers r5, which suffix B still needs from the seed.
+        a_insts = [addi(6, 5, 0), addi(5, 6, 4), lw(8, 5)]
+        b_insts = [addi(6, 5, 0), lw(9, 5, 8)]
+        a, b = make_pthread(11, a_insts), make_pthread(11, b_insts)
+        merged = merge_two(a, b)
+        assert merged is not None
+        defs = [inst.rd for inst in merged.body.instructions if inst.rd]
+        assert any(rd >= VIRTUAL_REG_BASE for rd in defs)
+        # Semantics: B's load address must still be seed r5 + 8.
+        out = execute_body(merged.body, {5: 1000}, lambda addr: 0)
+        assert 1008 in out.addresses
+
+    def test_overhead_recomputed_for_merged_size(self):
+        a, b = make_pthread(11, F_INSTS), make_pthread(11, J_INSTS)
+        merged = merge_two(a, b)
+        expected = 100 * merged.body.size * 0.125
+        assert merged.prediction.oh_agg == pytest.approx(expected)
+        # Cheaper than two separate p-threads.
+        separate = a.prediction.oh_agg + b.prediction.oh_agg
+        assert merged.prediction.oh_agg < separate
+
+
+class TestMergePthreads:
+    def test_group_merging(self):
+        pthreads = [
+            make_pthread(11, F_INSTS),
+            make_pthread(11, J_INSTS),
+            make_pthread(20, [lw(1, 2)]),
+        ]
+        merged = merge_pthreads(pthreads)
+        assert len(merged) == 2
+        triggers = sorted(p.trigger_pc for p in merged)
+        assert triggers == [11, 20]
+
+    def test_three_way_merge(self):
+        c_insts = [addi(5, 5, 16), lw(6, 5, 0)]
+        pthreads = [
+            make_pthread(11, F_INSTS),
+            make_pthread(11, J_INSTS),
+            make_pthread(11, c_insts, load_pc=2),
+        ]
+        merged = merge_pthreads(pthreads)
+        assert len(merged) == 1
+        assert set(merged[0].target_load_pcs) == {9, 2}
+
+    def test_empty_input(self):
+        assert merge_pthreads([]) == []
+
+    def test_deterministic_order(self):
+        pthreads = [
+            make_pthread(20, [lw(1, 2)]),
+            make_pthread(11, F_INSTS),
+        ]
+        merged_a = merge_pthreads(pthreads)
+        merged_b = merge_pthreads(list(reversed(pthreads)))
+        assert [p.trigger_pc for p in merged_a] == [
+            p.trigger_pc for p in merged_b
+        ]
+
+    def test_unoptimized_merge_keeps_raw_prefix(self):
+        long_f = [addi(5, 5, 16)] * 3 + F_INSTS[1:]
+        long_j = [addi(5, 5, 16)] * 3 + J_INSTS[1:]
+        merged = merge_pthreads(
+            [make_pthread(11, long_f), make_pthread(11, long_j)],
+            optimize=False,
+        )
+        assert len(merged) == 1
+        # No folding: the three prefix addis survive.
+        addis = [
+            inst
+            for inst in merged[0].body.instructions
+            if inst.op is Opcode.ADDI and inst.imm == 16 and inst.rd == 5
+        ]
+        assert len(addis) >= 3
+
+    def test_optimized_merge_folds_prefix(self):
+        long_f = [addi(5, 5, 16)] * 3 + F_INSTS[1:]
+        long_j = [addi(5, 5, 16)] * 3 + J_INSTS[1:]
+        merged = merge_pthreads(
+            [make_pthread(11, long_f), make_pthread(11, long_j)],
+            optimize=True,
+        )
+        assert len(merged) == 1
+        assert merged[0].body.size < len(long_f) + len(long_j) - 3

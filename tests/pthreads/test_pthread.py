@@ -1,0 +1,51 @@
+"""Tests for StaticPThread and PThreadPrediction."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.pthreads.body import PThreadBody
+from repro.pthreads.pthread import PThreadPrediction, StaticPThread
+
+
+def simple_pthread():
+    body = PThreadBody(
+        [
+            Instruction(Opcode.ADDI, rd=5, rs1=5, imm=16),
+            Instruction(Opcode.LW, rd=8, rs1=5, imm=0),
+        ]
+    )
+    prediction = PThreadPrediction(
+        dc_trig=100,
+        size=2,
+        misses_covered=30,
+        misses_fully_covered=20,
+        lt_agg=240.0,
+        oh_agg=25.0,
+    )
+    return StaticPThread(
+        trigger_pc=11,
+        body=body,
+        target_load_pcs=(9,),
+        prediction=prediction,
+    )
+
+
+class TestPrediction:
+    def test_adv_agg(self):
+        assert simple_pthread().prediction.adv_agg == 215.0
+
+    def test_injected_instructions(self):
+        assert simple_pthread().prediction.injected_instructions == 200
+
+
+class TestStaticPThread:
+    def test_size_delegates_to_body(self):
+        assert simple_pthread().size == 2
+
+    def test_original_body_defaults_to_body(self):
+        pthread = simple_pthread()
+        assert pthread.original_body is pthread.body
+        assert pthread.original_targets == (1,)
+
+    def test_describe(self):
+        text = simple_pthread().describe()
+        assert "#0011" in text and "#0009" in text

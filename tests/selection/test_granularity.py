@@ -1,0 +1,64 @@
+"""Tests for region-grained selection (Figure 6 machinery)."""
+
+import pytest
+
+from repro.model.params import ModelParams, SelectionConstraints
+from repro.selection.granularity import select_by_region
+
+PARAMS = ModelParams(bw_seq=8, unassisted_ipc=0.8, mem_latency=70, load_latency=2)
+
+
+class TestSelectByRegion:
+    def test_regions_tile_the_trace(self, pharmacy_small, pharmacy_small_run):
+        trace = pharmacy_small_run.trace
+        granular = select_by_region(
+            pharmacy_small, trace, PARAMS, region_size=len(trace) // 4
+        )
+        assert granular.regions[0].start == 0
+        assert granular.regions[-1].end == len(trace)
+        for previous, current in zip(granular.regions, granular.regions[1:]):
+            assert current.start == previous.end
+
+    def test_schedule_matches_regions(self, pharmacy_small, pharmacy_small_run):
+        trace = pharmacy_small_run.trace
+        granular = select_by_region(
+            pharmacy_small, trace, PARAMS, region_size=len(trace) // 3
+        )
+        schedule = granular.schedule()
+        assert len(schedule) == len(granular.regions)
+        for (start, end, pthreads), region in zip(schedule, granular.regions):
+            assert (start, end) == (region.start, region.end)
+            assert pthreads == region.pthreads
+
+    def test_aggregates(self, pharmacy_small, pharmacy_small_run):
+        trace = pharmacy_small_run.trace
+        granular = select_by_region(
+            pharmacy_small, trace, PARAMS, region_size=len(trace) // 2
+        )
+        assert granular.total_static_pthreads() == sum(
+            len(r.pthreads) for r in granular.regions
+        )
+        assert granular.predicted_launches() >= 0
+        assert granular.predicted_covered() >= 0
+
+    def test_invalid_region_size(self, pharmacy_small, pharmacy_small_run):
+        with pytest.raises(ValueError):
+            select_by_region(
+                pharmacy_small, pharmacy_small_run.trace, PARAMS, region_size=0
+            )
+
+    def test_single_region_equals_whole_run(
+        self, pharmacy_small, pharmacy_small_run
+    ):
+        from repro.selection.program_selector import select_pthreads
+
+        trace = pharmacy_small_run.trace
+        granular = select_by_region(
+            pharmacy_small, trace, PARAMS, region_size=len(trace) + 1
+        )
+        whole = select_pthreads(pharmacy_small, trace, PARAMS)
+        assert len(granular.regions) == 1
+        assert (
+            granular.regions[0].selection.prediction.misses_covered
+            == whole.prediction.misses_covered
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for ProgramPrediction arithmetic (no simulation needed)."""
+
+import pytest
+
+from repro.selection.program_selector import ProgramPrediction
+
+
+def make_prediction(**overrides):
+    defaults = dict(
+        launches=1000,
+        injected_instructions=8000,
+        misses_covered=500,
+        misses_fully_covered=300,
+        lt_agg=35000.0,
+        oh_agg=2000.0,
+        sample_instructions=100_000,
+        sample_l2_misses=800,
+        unassisted_ipc=1.0,
+        sequencing_width=8,
+    )
+    defaults.update(overrides)
+    return ProgramPrediction(**defaults)
+
+
+class TestDerivedQuantities:
+    def test_adv_agg(self):
+        assert make_prediction().adv_agg == 33000.0
+
+    def test_avg_length(self):
+        assert make_prediction().avg_pthread_length == 8.0
+        assert make_prediction(launches=0).avg_pthread_length == 0.0
+
+    def test_coverage_fractions(self):
+        prediction = make_prediction()
+        assert prediction.coverage_fraction == 500 / 800
+        assert prediction.full_coverage_fraction == 300 / 800
+        assert make_prediction(sample_l2_misses=0).coverage_fraction == 0.0
+
+
+class TestPredictedIpcs:
+    def test_basic_speedup(self):
+        prediction = make_prediction()
+        # base cycles 100k, advantage 33k -> 100k/67k ≈ 1.49x
+        assert prediction.predicted_ipc == pytest.approx(100 / 67, rel=1e-3)
+        assert prediction.predicted_speedup == pytest.approx(
+            100 / 67 - 1, rel=1e-3
+        )
+
+    def test_overhead_ipc_below_base(self):
+        prediction = make_prediction()
+        assert prediction.predicted_overhead_ipc < prediction.unassisted_ipc
+        assert prediction.predicted_overhead_ipc == pytest.approx(
+            100_000 / 102_000, rel=1e-6
+        )
+
+    def test_latency_ipc_above_full(self):
+        prediction = make_prediction()
+        assert (
+            prediction.predicted_latency_ipc
+            >= prediction.predicted_ipc
+        )
+
+    def test_width_clamp(self):
+        """LTagg exceeding base cycles clamps at the sequencing bound
+        instead of going negative/infinite (the paper's serialization
+        assumption pushed to its limit)."""
+        prediction = make_prediction(lt_agg=10_000_000.0)
+        assert prediction.predicted_ipc == 8.0
+        assert prediction.predicted_latency_ipc == 8.0
+
+    def test_zero_pthreads_prediction_is_identity(self):
+        prediction = make_prediction(
+            launches=0,
+            injected_instructions=0,
+            misses_covered=0,
+            misses_fully_covered=0,
+            lt_agg=0.0,
+            oh_agg=0.0,
+        )
+        assert prediction.predicted_ipc == pytest.approx(1.0)
+        assert prediction.predicted_overhead_ipc == pytest.approx(1.0)
+        assert prediction.predicted_speedup == pytest.approx(0.0)

@@ -1,0 +1,70 @@
+"""Unit tests for the correlation summary (synthetic diagnostics)."""
+
+import pytest
+
+import repro.validation.diagnostics as diagnostics_module
+from repro.validation.diagnostics import Diagnostic, correlation_summary
+
+
+def patched_summary(monkeypatch, per_result_diagnostics):
+    """Run correlation_summary against synthetic validate_result output."""
+    results = list(range(len(per_result_diagnostics)))
+    iterator = iter(per_result_diagnostics)
+    monkeypatch.setattr(
+        diagnostics_module, "validate_result", lambda result: next(iterator)
+    )
+    return correlation_summary(results)
+
+
+class TestCorrelationSummary:
+    def test_perfect_correlation(self, monkeypatch):
+        data = [
+            [Diagnostic("launches", 10.0, 10.0)],
+            [Diagnostic("launches", 20.0, 20.0)],
+            [Diagnostic("launches", 30.0, 30.0)],
+        ]
+        out = patched_summary(monkeypatch, data)
+        assert out["launches"] == pytest.approx(1.0)
+
+    def test_scaled_predictions_still_correlate(self, monkeypatch):
+        # Systematic 2x over-prediction: correlation stays 1.0 — the
+        # paper's point that orderings matter more than absolutes.
+        data = [
+            [Diagnostic("ipc", 2.0, 1.0)],
+            [Diagnostic("ipc", 4.0, 2.0)],
+            [Diagnostic("ipc", 6.0, 3.0)],
+        ]
+        out = patched_summary(monkeypatch, data)
+        assert out["ipc"] == pytest.approx(1.0)
+
+    def test_anti_correlation_detected(self, monkeypatch):
+        data = [
+            [Diagnostic("cov", 1.0, 3.0)],
+            [Diagnostic("cov", 2.0, 2.0)],
+            [Diagnostic("cov", 3.0, 1.0)],
+        ]
+        out = patched_summary(monkeypatch, data)
+        assert out["cov"] == pytest.approx(-1.0)
+
+    def test_constant_series_gives_nan(self, monkeypatch):
+        data = [
+            [Diagnostic("x", 5.0, 1.0)],
+            [Diagnostic("x", 5.0, 2.0)],
+        ]
+        out = patched_summary(monkeypatch, data)
+        assert out["x"] != out["x"]  # NaN
+
+    def test_single_sample_gives_nan(self, monkeypatch):
+        data = [[Diagnostic("x", 5.0, 1.0)]]
+        out = patched_summary(monkeypatch, data)
+        assert out["x"] != out["x"]
+
+    def test_non_finite_values_dropped(self, monkeypatch):
+        data = [
+            [Diagnostic("x", 1.0, 1.0)],
+            [Diagnostic("x", float("inf"), 9.0)],
+            [Diagnostic("x", 2.0, 2.0)],
+            [Diagnostic("x", 3.0, 3.0)],
+        ]
+        out = patched_summary(monkeypatch, data)
+        assert out["x"] == pytest.approx(1.0)

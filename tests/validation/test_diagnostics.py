@@ -1,0 +1,78 @@
+"""Tests for the predicted-vs-measured validation machinery."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, ExperimentRunner
+from repro.validation.diagnostics import (
+    Diagnostic,
+    correlation_summary,
+    render_validation,
+    validate_result,
+)
+from repro.workloads.suite import build
+
+
+@pytest.fixture(scope="module")
+def result():
+    runner = ExperimentRunner()
+    small = build("pharmacy", "train", n_xact=700, n_drugs=16384, hot_drugs=1024)
+    runner._workloads[("pharmacy", "train", None)] = small
+    runner._workloads[("pharmacy", "train", small.hierarchy)] = small
+    return runner.run(ExperimentConfig(workload="pharmacy", validate=True))
+
+
+class TestDiagnostic:
+    def test_ratio(self):
+        assert Diagnostic("x", 10, 5).ratio == 0.5
+        assert Diagnostic("x", 0, 0).ratio == 1.0
+
+    def test_relative_error(self):
+        assert Diagnostic("x", 12, 10).relative_error == pytest.approx(0.2)
+        assert Diagnostic("x", 0, 0).relative_error == 0.0
+
+
+class TestValidateResult:
+    def test_all_diagnostics_present(self, result):
+        names = {d.name for d in validate_result(result)}
+        assert names == {
+            "launches",
+            "insns_per_pthread",
+            "misses_covered",
+            "misses_fully_covered",
+            "ipc",
+            "overhead_ipc",
+            "latency_ipc",
+        }
+
+    def test_launch_prediction_close(self, result):
+        """Launch counts are the paper's most reliable diagnostic:
+        predictions only err through dropped launches."""
+        launches = next(
+            d for d in validate_result(result) if d.name == "launches"
+        )
+        assert launches.measured <= launches.predicted
+        assert launches.ratio > 0.5
+
+    def test_pthread_length_self_fulfilling(self, result):
+        """The paper: 'Predictions of average p-thread length are
+        self-fulfilling.'"""
+        length = next(
+            d
+            for d in validate_result(result)
+            if d.name == "insns_per_pthread"
+        )
+        assert length.ratio == pytest.approx(1.0, abs=0.01)
+
+    def test_overhead_ipc_accurate(self, result):
+        overhead = next(
+            d for d in validate_result(result) if d.name == "overhead_ipc"
+        )
+        assert overhead.ratio == pytest.approx(1.0, abs=0.25)
+
+    def test_render(self, result):
+        text = render_validation([result])
+        assert "predicted" in text and "measured" in text
+
+    def test_correlation_summary_runs(self, result):
+        correlations = correlation_summary([result, result])
+        assert "launches" in correlations

@@ -1,0 +1,95 @@
+"""Structural tests: each workload exhibits its benchmark's behaviour class.
+
+These pin down the *shape* properties the reproduction relies on (see
+DESIGN.md §2): mcf's serial chains, vpr.p's register-resident address
+computation, parser/twolf's wide-span computations, crafty's scarcity
+of coverable misses.
+"""
+
+import pytest
+
+from repro.engine import run_program
+from repro.model import ModelParams, SelectionConstraints
+from repro.selection import select_pthreads
+from repro.slicing import build_slice_trees
+from repro.workloads import build
+
+
+def traced(name, **overrides):
+    workload = build(name, "test", **overrides)
+    return workload, run_program(workload.program, workload.hierarchy)
+
+
+PARAMS = ModelParams(bw_seq=8, unassisted_ipc=0.6, mem_latency=70, load_latency=2)
+
+
+class TestMcfStructure:
+    def test_slices_are_load_chains(self):
+        workload, result = traced("mcf")
+        trees = build_slice_trees(result.trace, scope=512, max_length=24)
+        assert trees
+        # The dominant tree's spine must be mostly loads (pointer hops).
+        tree = max(trees.values(), key=lambda t: t.total_misses())
+        spine = []
+        node = tree.root
+        while node.children:
+            node = max(node.children.values(), key=lambda c: c.visits)
+            spine.append(node)
+        loads = sum(
+            1 for n in spine if workload.program[n.pc].is_load
+        )
+        assert loads >= len(spine) * 0.4
+
+
+class TestVprPlaceStructure:
+    def test_slices_are_pure_arithmetic(self):
+        workload, result = traced("vpr.p")
+        trees = build_slice_trees(result.trace, scope=512, max_length=24)
+        tree = max(trees.values(), key=lambda t: t.total_misses())
+        spine = []
+        node = tree.root
+        while node.children:
+            node = max(node.children.values(), key=lambda c: c.visits)
+            spine.append(node)
+        # Beyond the root load, the computation is register arithmetic.
+        loads = sum(1 for n in spine if workload.program[n.pc].is_load)
+        assert loads == 0
+
+
+class TestCraftyStructure:
+    def test_nothing_worth_selecting(self):
+        workload, result = traced("crafty")
+        selection = select_pthreads(
+            workload.program, result.trace, PARAMS, SelectionConstraints()
+        )
+        # Cold lookups chain through the previous miss and fan out over
+        # branch paths: no (or almost no) static p-thread qualifies.
+        covered = selection.prediction.misses_covered
+        assert covered <= 0.3 * max(1, selection.prediction.sample_l2_misses)
+
+
+class TestPharmacyStructure:
+    def test_two_arm_tree(self, pharmacy_small, pharmacy_small_run):
+        from repro.workloads import pharmacy
+
+        trees = build_slice_trees(pharmacy_small_run.trace, scope=512)
+        tree = trees[pharmacy.PROBLEM_LOAD_PC]
+        arm_pcs = set()
+        for node in tree.nodes():
+            if node.depth == 3:
+                arm_pcs.add(node.pc)
+        assert len(arm_pcs) == 2
+
+
+class TestCoverageSpectrum:
+    def test_suite_spans_coverable_and_uncoverable(self):
+        """The suite must contain both ends of the paper's spectrum."""
+        fractions = {}
+        for name in ("vpr.r", "crafty"):
+            workload, result = traced(name)
+            selection = select_pthreads(
+                workload.program, result.trace, PARAMS, SelectionConstraints()
+            )
+            prediction = selection.prediction
+            fractions[name] = prediction.coverage_fraction
+        assert fractions["vpr.r"] > fractions["crafty"]
