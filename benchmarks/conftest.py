@@ -2,14 +2,19 @@
 
 One :class:`~repro.harness.experiment.ExperimentRunner` is shared by
 every bench module so traces and baselines are computed once per
-(workload, input, hierarchy, machine) across the whole session.
-
-Every bench writes its regenerated table/figure to ``results/`` (and
-echoes it to stdout) so EXPERIMENTS.md can reference concrete numbers.
+(workload, input, hierarchy, machine) across the whole session, and one
+:class:`~repro.harness.parallel.SweepExecutor` fans sweep cells out
+over worker processes.  The persistent artifact cache (default
+``~/.cache/repro``) makes stage outputs survive across sessions and
+lets parallel workers share work; after the session a stage-timing /
+cache-effectiveness report is written to ``results/perf_harness.txt``.
 
 Environment knobs:
     REPRO_BENCH_WORKLOADS  comma-separated subset of the suite (default
                            all ten benchmarks).
+    REPRO_JOBS             sweep worker processes (default: CPU count;
+                           1 forces the serial path).
+    REPRO_CACHE_DIR        persistent cache root; ``off`` disables it.
 """
 
 from __future__ import annotations
@@ -19,15 +24,39 @@ from pathlib import Path
 
 import pytest
 
+from repro.harness.artifacts import ArtifactCache
 from repro.harness.experiment import ExperimentRunner
+from repro.harness.parallel import SweepExecutor
 from repro.workloads.suite import SUITE
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    return ExperimentRunner()
+def artifacts():
+    return ArtifactCache.from_env()
+
+
+@pytest.fixture(scope="session")
+def runner(artifacts) -> ExperimentRunner:
+    return ExperimentRunner(artifacts=artifacts)
+
+
+@pytest.fixture(scope="session")
+def executor(runner) -> SweepExecutor:
+    return SweepExecutor(runner=runner)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _perf_report(runner):
+    """Write the session's harness-performance report on teardown."""
+    yield
+    RESULTS_DIR.mkdir(exist_ok=True)
+    report = runner.perf.render(
+        title="Harness performance (bench session: stage compute seconds "
+        "and cache hits)"
+    )
+    (RESULTS_DIR / "perf_harness.txt").write_text(report + "\n")
 
 
 @pytest.fixture(scope="session")

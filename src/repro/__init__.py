@@ -27,11 +27,13 @@ Quickstart::
     print(result.preexec.describe(), f"speedup {result.speedup:+.1%}")
 """
 
+from repro.harness.artifacts import ArtifactCache
 from repro.harness.experiment import (
     ExperimentConfig,
     ExperimentResult,
     ExperimentRunner,
 )
+from repro.harness.parallel import SweepExecutor
 from repro.model.params import ModelParams, SelectionConstraints
 from repro.pthreads.pthread import StaticPThread
 from repro.selection.program_selector import ProgramSelection, select_pthreads
@@ -42,6 +44,7 @@ from repro.timing.stats import SimStats
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
@@ -52,6 +55,7 @@ __all__ = [
     "SimStats",
     "SliceTree",
     "StaticPThread",
+    "SweepExecutor",
     "__version__",
     "build_slice_trees",
     "select_pthreads",

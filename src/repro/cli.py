@@ -6,11 +6,16 @@ Commands mirror the paper's artifacts::
     python -m repro table1                # benchmark characterization
     python -m repro table2 --workloads mcf,vpr.r
     python -m repro figure 4              # scope x length sweep
+    python -m repro figure 4 -j 4         # ... across 4 processes
     python -m repro branches vpr.p        # branch pre-execution
+    python -m repro cache info            # persistent-cache contents
 
-Sweeps accept ``--workloads`` to restrict the suite.  Everything prints
-to stdout in the same fixed-width format the benches write to
-``results/``.
+Sweeps accept ``--workloads`` to restrict the suite, ``--jobs/-j`` to
+fan cells out over worker processes (default ``REPRO_JOBS``, then the
+CPU count), ``--no-cache`` to skip the persistent artifact cache, and
+``--perf`` to append a stage-timing / cache-effectiveness report.
+Everything prints to stdout in the same fixed-width format the benches
+write to ``results/``.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.harness.artifacts import ArtifactCache
 from repro.harness.experiment import ExperimentConfig, ExperimentRunner
 from repro.harness.figures import (
     figure4_scope_length,
@@ -28,6 +34,7 @@ from repro.harness.figures import (
     figure8_memory_latency,
     figure8b_processor_width,
 )
+from repro.harness.parallel import SweepExecutor
 from repro.harness.tables import render_table1, render_table2, table1, table2
 from repro.workloads.suite import SUITE
 
@@ -51,8 +58,27 @@ def _parse_workloads(text: Optional[str]) -> List[str]:
     return names
 
 
+def _artifacts(args: argparse.Namespace) -> Optional[ArtifactCache]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ArtifactCache.from_env()
+
+
+def _executor(args: argparse.Namespace) -> SweepExecutor:
+    try:
+        return SweepExecutor(jobs=args.jobs, artifacts=_artifacts(args))
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _print_perf(args: argparse.Namespace, executor: SweepExecutor) -> None:
+    if getattr(args, "perf", False):
+        print()
+        print(executor.perf.render())
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(artifacts=_artifacts(args))
     result = runner.run(
         ExperimentConfig(workload=args.workload, validate=args.validate)
     )
@@ -69,26 +95,47 @@ def _cmd_run(args: argparse.Namespace) -> None:
         f"\nspeedup {result.speedup:+.1%}  coverage {result.coverage:.1%} "
         f"(full {result.full_coverage:.1%})"
     )
+    if getattr(args, "perf", False):
+        print()
+        print(runner.perf.render())
 
 
 def _cmd_table(args: argparse.Namespace) -> None:
-    runner = ExperimentRunner()
+    executor = _executor(args)
     workloads = _parse_workloads(args.workloads)
     if args.which == "1":
-        print(render_table1(table1(runner, workloads=workloads)))
+        print(render_table1(table1(workloads=workloads, executor=executor)))
     else:
-        print(render_table2(table2(runner, workloads=workloads)))
+        print(render_table2(table2(workloads=workloads, executor=executor)))
+    _print_perf(args, executor)
 
 
 def _cmd_figure(args: argparse.Namespace) -> None:
-    runner = ExperimentRunner()
+    executor = _executor(args)
     workloads = _parse_workloads(args.workloads)
     figure_fn = _FIGURES.get(args.which)
     if figure_fn is None:
         raise SystemExit(
             f"unknown figure {args.which!r}; known: {sorted(_FIGURES)}"
         )
-    print(figure_fn(runner, workloads=workloads).render())
+    print(figure_fn(workloads=workloads, executor=executor).render())
+    _print_perf(args, executor)
+
+
+def _cmd_cache(args: argparse.Namespace) -> None:
+    cache = ArtifactCache.from_env()
+    if cache is None:
+        print("persistent cache disabled (REPRO_CACHE_DIR is off)")
+        return
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} artifact(s) from {cache.root}")
+        return
+    counts = cache.entry_count()
+    print(f"cache root: {cache.root}")
+    for kind in sorted(counts):
+        print(f"  {kind:<11} {counts[kind]} artifact(s)")
+    print(f"  total size  {cache.size_bytes() / 1024.0:.1f} KiB")
 
 
 def _cmd_branches(args: argparse.Namespace) -> None:
@@ -132,12 +179,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_common(p: argparse.ArgumentParser, jobs: bool = True) -> None:
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="skip the persistent artifact cache for this invocation",
+        )
+        p.add_argument(
+            "--perf", action="store_true",
+            help="append a stage-timing / cache hit-miss report",
+        )
+        if jobs:
+            p.add_argument(
+                "--jobs", "-j", type=int, default=None,
+                help="worker processes (default REPRO_JOBS, then CPU count)",
+            )
+
     run_parser = sub.add_parser("run", help="full pipeline on one workload")
     run_parser.add_argument("workload", choices=SUITE + ["pharmacy"])
     run_parser.add_argument(
         "--validate", action="store_true",
         help="also run overhead-only / latency-only / perfect-L2 modes",
     )
+    add_common(run_parser, jobs=False)
     run_parser.set_defaults(func=_cmd_run)
 
     for which in ("1", "2"):
@@ -145,12 +208,20 @@ def build_parser() -> argparse.ArgumentParser:
             f"table{which}", help=f"regenerate Table {which}"
         )
         table_parser.add_argument("--workloads", default=None)
+        add_common(table_parser)
         table_parser.set_defaults(func=_cmd_table, which=which)
 
     figure_parser = sub.add_parser("figure", help="regenerate a figure")
     figure_parser.add_argument("which", choices=sorted(_FIGURES))
     figure_parser.add_argument("--workloads", default=None)
+    add_common(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.set_defaults(func=_cmd_cache)
 
     branch_parser = sub.add_parser(
         "branches", help="branch pre-execution on one workload"

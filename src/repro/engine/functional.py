@@ -68,6 +68,56 @@ class FunctionalResult:
     memory: MainMemory
     load_level_counts: Dict[int, int] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict (full fidelity).
+
+        The trace is packed through :meth:`Trace.to_dict`; the sparse
+        final memory image is stored as sorted ``[addr, value]`` pairs.
+        Used by the harness artifact cache so warm sweeps skip the
+        functional simulation entirely.
+        """
+        return {
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+            "instructions": self.instructions,
+            "traced_instructions": self.traced_instructions,
+            "halted": self.halted,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "registers": list(self.registers),
+            "memory": sorted(self.memory.snapshot().items()),
+            "load_level_counts": {
+                str(level): count
+                for level, count in sorted(self.load_level_counts.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionalResult":
+        """Rebuild from :meth:`to_dict` output."""
+        memory = MainMemory()
+        memory.restore({int(addr): int(value) for addr, value in data["memory"]})
+        trace_data = data["trace"]
+        return cls(
+            trace=Trace.from_dict(trace_data) if trace_data is not None else None,
+            instructions=int(data["instructions"]),
+            traced_instructions=int(data["traced_instructions"]),
+            halted=bool(data["halted"]),
+            loads=int(data["loads"]),
+            stores=int(data["stores"]),
+            branches=int(data["branches"]),
+            l1_misses=int(data["l1_misses"]),
+            l2_misses=int(data["l2_misses"]),
+            registers=[int(r) for r in data["registers"]],
+            memory=memory,
+            load_level_counts={
+                int(level): int(count)
+                for level, count in data["load_level_counts"].items()
+            },
+        )
+
 
 class FunctionalSimulator:
     """Executes programs functionally with optional tracing and caches.

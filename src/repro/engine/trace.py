@@ -126,3 +126,41 @@ class Trace:
     def miss_indices(self, min_level: int) -> np.ndarray:
         """Dynamic indices of loads that missed to ``min_level`` or beyond."""
         return np.nonzero(self.level[: self.length] >= min_level)[0]
+
+    #: Parallel-array field names, in serialization order.
+    FIELDS = ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken")
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict.
+
+        Arrays are packed as base64 of their little-endian raw bytes so
+        multi-hundred-thousand-record traces stay compact and cheap to
+        round-trip (no per-record Python objects).
+        """
+        import base64
+
+        payload: dict = {"length": self.length}
+        for name in self.FIELDS:
+            arr = getattr(self, name)[: self.length]
+            arr = np.ascontiguousarray(arr, dtype=arr.dtype.newbyteorder("<"))
+            payload[name] = {
+                "dtype": arr.dtype.str,
+                "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        import base64
+
+        length = int(data["length"])
+        trace = cls(capacity=max(length, 16))
+        for name in cls.FIELDS:
+            field = data[name]
+            raw = base64.b64decode(field["data"])
+            arr = np.frombuffer(raw, dtype=np.dtype(field["dtype"]))
+            native = getattr(trace, name).dtype
+            setattr(trace, name, arr.astype(native, copy=True))
+        trace.length = length
+        return trace

@@ -1,5 +1,6 @@
-"""Experiment harness: pipeline, tables, figures, reporting."""
+"""Experiment harness: pipeline, parallel sweeps, caching, reporting."""
 
+from repro.harness.artifacts import ArtifactCache, PerfCounters, stable_key
 from repro.harness.experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -15,7 +16,13 @@ from repro.harness.figures import (
     figure8_memory_latency,
     figure8b_processor_width,
 )
-from repro.harness.report import fmt, render_series, render_table
+from repro.harness.parallel import (
+    CellError,
+    SweepError,
+    SweepExecutor,
+    resolve_jobs,
+)
+from repro.harness.report import fmt, render_perf, render_series, render_table
 from repro.harness.tables import (
     Table1Row,
     Table2Row,
@@ -26,11 +33,16 @@ from repro.harness.tables import (
 )
 
 __all__ = [
+    "ArtifactCache",
+    "CellError",
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
     "FIGURE_METRICS",
     "FigureData",
+    "PerfCounters",
+    "SweepError",
+    "SweepExecutor",
     "Table1Row",
     "Table2Row",
     "figure4_scope_length",
@@ -40,10 +52,13 @@ __all__ = [
     "figure8_memory_latency",
     "figure8b_processor_width",
     "fmt",
+    "render_perf",
     "render_series",
     "render_table",
     "render_table1",
     "render_table2",
+    "resolve_jobs",
+    "stable_key",
     "table1",
     "table2",
 ]

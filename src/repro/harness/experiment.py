@@ -17,10 +17,17 @@ vary.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.functional import FunctionalResult, run_program
+from repro.harness.artifacts import (
+    ArtifactCache,
+    PerfCounters,
+    program_digest,
+    stable_key,
+)
 from repro.memory.hierarchy import HierarchyConfig
 from repro.model.params import ModelParams, SelectionConstraints
 from repro.selection.granularity import select_by_region
@@ -36,6 +43,7 @@ from repro.timing.config import (
 )
 from repro.timing.core import Schedule, TimingSimulator
 from repro.timing.stats import SimStats
+from repro.workloads.common import SUITE_HIERARCHY
 from repro.workloads.suite import Workload, build
 
 
@@ -94,6 +102,11 @@ class ExperimentResult:
     preexec: SimStats
     validation: Dict[str, SimStats] = field(default_factory=dict)
     num_regions: int = 1
+    #: Wall-clock seconds this cell spent in each pipeline stage
+    #: (``trace`` / ``baseline`` / ``selection`` / ``timing`` /
+    #: ``validation``).  Stages satisfied from a cache report (near)
+    #: zero, so a sweep's timings expose exactly what caching saved.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -124,13 +137,29 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Pipeline driver with trace/baseline caching across sweep cells."""
+    """Pipeline driver with trace/baseline caching across sweep cells.
 
-    def __init__(self, max_instructions: int = 10_000_000) -> None:
+    Two cache layers back every expensive stage: an in-memory dict for
+    repeats within this process, and (when ``artifacts`` is given) the
+    persistent content-addressed :class:`ArtifactCache`, which survives
+    across sessions and is shared by the worker processes of a parallel
+    sweep.  ``perf`` accumulates per-stage compute seconds and
+    hit/miss counters for both layers.
+    """
+
+    def __init__(
+        self,
+        max_instructions: int = 10_000_000,
+        artifacts: Optional[ArtifactCache] = None,
+    ) -> None:
         self.max_instructions = max_instructions
+        self.artifacts = artifacts
+        self.perf = PerfCounters()
         self._workloads: Dict[Tuple, Workload] = {}
         self._traces: Dict[Tuple, FunctionalResult] = {}
         self._baselines: Dict[Tuple, SimStats] = {}
+        self._perfect: Dict[Tuple, SimStats] = {}
+        self._selections: Dict[str, ProgramSelection] = {}
 
     # -- cached stages --------------------------------------------------
 
@@ -140,33 +169,161 @@ class ExperimentRunner:
         input_name: str,
         hierarchy: Optional[HierarchyConfig] = None,
     ) -> Workload:
-        key = (name, input_name, hierarchy)
+        # Key on the *resolved* hierarchy: ``None`` and an explicitly
+        # passed default otherwise build duplicate workloads (re-running
+        # the generators) in sweeps that mix the two spellings.
+        resolved = hierarchy if hierarchy is not None else SUITE_HIERARCHY
+        key = (name, input_name, resolved)
         if key not in self._workloads:
-            self._workloads[key] = build(name, input_name, hierarchy=hierarchy)
+            self._workloads[key] = build(name, input_name, hierarchy=resolved)
         return self._workloads[key]
 
     def trace(self, workload: Workload) -> FunctionalResult:
         key = (workload.name, workload.input_name, workload.hierarchy)
-        if key not in self._traces:
-            self._traces[key] = run_program(
+        cached = self._traces.get(key)
+        if cached is not None:
+            self.perf.hit("trace")
+            return cached
+        result = self._trace_from_disk(workload)
+        if result is None:
+            self.perf.miss("trace")
+            start = time.perf_counter()
+            result = run_program(
                 workload.program,
                 workload.hierarchy,
                 max_instructions=self.max_instructions,
             )
-        return self._traces[key]
+            self.perf.add_time("trace", time.perf_counter() - start)
+            self._trace_to_disk(workload, result)
+        self._traces[key] = result
+        return result
 
     def baseline(self, workload: Workload, machine: MachineConfig) -> SimStats:
         key = (workload.name, workload.input_name, workload.hierarchy, machine)
         if key not in self._baselines:
-            sim = TimingSimulator(workload.program, workload.hierarchy, machine)
-            self._baselines[key] = sim.run(
-                BASELINE, max_instructions=self.max_instructions
+            self._baselines[key] = self._timed_stats(
+                "baseline", BASELINE, workload, machine
             )
+        else:
+            self.perf.hit("baseline")
         return self._baselines[key]
 
     def perfect_l2(self, workload: Workload, machine: MachineConfig) -> SimStats:
+        key = (workload.name, workload.input_name, workload.hierarchy, machine)
+        if key not in self._perfect:
+            self._perfect[key] = self._timed_stats(
+                "perfect_l2", PERFECT_L2, workload, machine
+            )
+        else:
+            self.perf.hit("perfect_l2")
+        return self._perfect[key]
+
+    # -- persistent-cache plumbing --------------------------------------
+
+    def _trace_key(self, workload: Workload) -> str:
+        return self.artifacts.key(
+            "trace",
+            program=program_digest(workload.program),
+            workload=workload.name,
+            input=workload.input_name,
+            hierarchy=workload.hierarchy,
+            max_instructions=self.max_instructions,
+        )
+
+    def _trace_from_disk(self, workload: Workload) -> Optional[FunctionalResult]:
+        if self.artifacts is None:
+            return None
+        payload = self.artifacts.load("trace", self._trace_key(workload))
+        if payload is None:
+            return None
+        self.perf.disk_hit("trace")
+        return FunctionalResult.from_dict(payload)
+
+    def _trace_to_disk(self, workload: Workload, result: FunctionalResult) -> None:
+        if self.artifacts is not None:
+            self.artifacts.store(
+                "trace", self._trace_key(workload), result.to_dict()
+            )
+
+    def _stats_key(
+        self, kind: str, workload: Workload, machine: MachineConfig
+    ) -> str:
+        return self.artifacts.key(
+            kind,
+            program=program_digest(workload.program),
+            workload=workload.name,
+            input=workload.input_name,
+            hierarchy=workload.hierarchy,
+            machine=machine,
+            max_instructions=self.max_instructions,
+        )
+
+    def _timed_stats(
+        self, kind: str, mode, workload: Workload, machine: MachineConfig
+    ) -> SimStats:
+        """One baseline-family timing simulation, through both caches."""
+        if self.artifacts is not None:
+            key = self._stats_key(kind, workload, machine)
+            payload = self.artifacts.load(kind, key)
+            if payload is not None:
+                self.perf.disk_hit(kind)
+                return SimStats.from_dict(payload)
+        self.perf.miss(kind)
+        start = time.perf_counter()
         sim = TimingSimulator(workload.program, workload.hierarchy, machine)
-        return sim.run(PERFECT_L2, max_instructions=self.max_instructions)
+        stats = sim.run(mode, max_instructions=self.max_instructions)
+        self.perf.add_time(kind, time.perf_counter() - start)
+        if self.artifacts is not None:
+            self.artifacts.store(kind, key, stats.to_dict())
+        return stats
+
+    def _cached_selection(
+        self,
+        profile_workload: Workload,
+        profile_trace: FunctionalResult,
+        params: ModelParams,
+        constraints: SelectionConstraints,
+        region: Optional[Tuple[int, int]],
+        lmem_overrides: Optional[Dict[int, float]],
+    ) -> ProgramSelection:
+        """Whole-run p-thread selection, through both cache layers."""
+        key = stable_key(
+            "selection",
+            program=program_digest(profile_workload.program),
+            workload=profile_workload.name,
+            input=profile_workload.input_name,
+            hierarchy=profile_workload.hierarchy,
+            params=params,
+            constraints=constraints,
+            region=list(region) if region is not None else None,
+            lmem_overrides=lmem_overrides,
+            max_instructions=self.max_instructions,
+        )
+        cached = self._selections.get(key)
+        if cached is not None:
+            self.perf.hit("selection")
+            return cached
+        selection = None
+        if self.artifacts is not None:
+            selection = self.artifacts.load("selection", key)
+            if selection is not None:
+                self.perf.disk_hit("selection")
+        if selection is None:
+            self.perf.miss("selection")
+            start = time.perf_counter()
+            selection = select_pthreads(
+                profile_workload.program,
+                profile_trace.trace,
+                params,
+                constraints=constraints,
+                region=region,
+                lmem_overrides=lmem_overrides,
+            )
+            self.perf.add_time("selection", time.perf_counter() - start)
+            if self.artifacts is not None:
+                self.artifacts.store("selection", key, selection)
+        self._selections[key] = selection
+        return selection
 
     # -- pipeline -------------------------------------------------------
 
@@ -191,32 +348,45 @@ class ExperimentRunner:
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Execute one experiment cell end to end."""
+        timings: Dict[str, float] = {}
         workload = self.workload(
             config.workload, config.input_name, config.hierarchy
         )
+        start = time.perf_counter()
         functional = self.trace(workload)
+        timings["trace"] = time.perf_counter() - start
+        start = time.perf_counter()
         base = self.baseline(workload, config.machine)
+        timings["baseline"] = time.perf_counter() - start
 
         # --- selection statistics may come from a different profile ---
         if config.selection_input is not None:
             profile_workload = self.workload(
                 config.workload, config.selection_input, config.hierarchy
             )
+            start = time.perf_counter()
             profile_trace = self.trace(profile_workload)
+            timings["trace"] += time.perf_counter() - start
+            start = time.perf_counter()
             profile_base = self.baseline(profile_workload, config.machine)
-            profile_program = profile_workload.program
+            timings["baseline"] += time.perf_counter() - start
             profile_ipc = profile_base.ipc
         else:
+            profile_workload = workload
             profile_trace = functional
-            profile_program = workload.program
             profile_ipc = base.ipc
         params = self.model_params(config, workload, profile_ipc)
 
         schedule: Optional[Schedule] = None
         num_regions = 1
+        start = time.perf_counter()
         if config.granularity is not None:
+            # Region-specialized selection stays uncached: its output (a
+            # per-region activation schedule) is not content-addressable
+            # by the same small key, and Figure 6 is the only user.
+            self.perf.miss("selection")
             granular = select_by_region(
-                profile_program,
+                profile_workload.program,
                 profile_trace.trace,
                 params,
                 region_size=config.granularity,
@@ -226,6 +396,7 @@ class ExperimentRunner:
             num_regions = len(granular.regions)
             # Report the aggregate of the region selections.
             selection = _aggregate_regions(granular, params, config.constraints)
+            self.perf.add_time("selection", time.perf_counter() - start)
         else:
             region = None
             if config.selection_prefix is not None:
@@ -236,14 +407,15 @@ class ExperimentRunner:
                     pc: base.effective_latency(pc, params.mem_latency)
                     for pc in base.miss_exposure
                 }
-            selection = select_pthreads(
-                profile_program,
-                profile_trace.trace,
+            selection = self._cached_selection(
+                profile_workload,
+                profile_trace,
                 params,
-                constraints=config.constraints,
-                region=region,
-                lmem_overrides=lmem_overrides,
+                config.constraints,
+                region,
+                lmem_overrides,
             )
+        timings["selection"] = time.perf_counter() - start
 
         # --- measurement ----------------------------------------------
         def simulate(mode) -> SimStats:
@@ -263,12 +435,23 @@ class ExperimentRunner:
                 )
             return sim.run(mode, max_instructions=self.max_instructions)
 
+        start = time.perf_counter()
         preexec = simulate(PRE_EXECUTION)
+        elapsed = time.perf_counter() - start
+        timings["timing"] = elapsed
+        self.perf.miss("timing")
+        self.perf.add_time("timing", elapsed)
         validation: Dict[str, SimStats] = {}
         if config.validate:
+            start = time.perf_counter()
             validation["overhead_execute"] = simulate(OVERHEAD_EXECUTE)
             validation["overhead_sequence"] = simulate(OVERHEAD_SEQUENCE)
             validation["latency_only"] = simulate(LATENCY_ONLY)
+            elapsed = time.perf_counter() - start
+            timings["validation"] = elapsed
+            self.perf.miss("validation")
+            self.perf.add_time("validation", elapsed)
+            # perfect_l2 times/counts itself (it has its own cache).
             validation["perfect_l2"] = self.perfect_l2(workload, config.machine)
 
         return ExperimentResult(
@@ -280,6 +463,7 @@ class ExperimentRunner:
             preexec=preexec,
             validation=validation,
             num_regions=num_regions,
+            timings=timings,
         )
 
 

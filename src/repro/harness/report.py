@@ -50,6 +50,46 @@ def render_table(
     return "\n".join(out)
 
 
+def render_perf(perf, title: str = "Harness performance") -> str:
+    """Render a :class:`~repro.harness.artifacts.PerfCounters` report.
+
+    One row per pipeline stage / cache kind: compute seconds, then how
+    the requests for that artifact were satisfied (computed fresh,
+    in-memory hit, persistent-cache hit).
+    """
+    stages = sorted(
+        set(perf.stage_seconds)
+        | set(perf.hits)
+        | set(perf.disk_hits)
+        | set(perf.misses)
+    )
+    rows = [
+        [
+            stage,
+            perf.stage_seconds.get(stage, 0.0),
+            perf.misses.get(stage, 0),
+            perf.hits.get(stage, 0),
+            perf.disk_hits.get(stage, 0),
+        ]
+        for stage in stages
+    ]
+    rows.append(
+        [
+            "total",
+            sum(perf.stage_seconds.values()),
+            sum(perf.misses.values()),
+            sum(perf.hits.values()),
+            sum(perf.disk_hits.values()),
+        ]
+    )
+    return render_table(
+        ["stage", "compute(s)", "computed", "mem hits", "disk hits"],
+        rows,
+        title=title,
+        precision=3,
+    )
+
+
 def render_series(
     title: str,
     group_labels: Sequence[str],

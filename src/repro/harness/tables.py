@@ -10,12 +10,15 @@ validation methodology (§4.2/§4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.harness.experiment import ExperimentConfig, ExperimentRunner
 from repro.harness.report import render_table
 from repro.timing.config import MachineConfig
 from repro.workloads.suite import SUITE
+
+if TYPE_CHECKING:  # import cycle: parallel imports experiment only
+    from repro.harness.parallel import SweepExecutor
 
 
 @dataclass
@@ -34,8 +37,16 @@ def table1(
     runner: Optional[ExperimentRunner] = None,
     workloads: Sequence[str] = tuple(SUITE),
     machine: Optional[MachineConfig] = None,
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[Table1Row]:
-    """Compute Table 1 (benchmark characterization)."""
+    """Compute Table 1 (benchmark characterization).
+
+    Table 1 only needs the shared pipeline stages (trace, baseline,
+    perfect-L2), so it runs on the runner directly; an ``executor`` just
+    donates its runner (and persistent cache).
+    """
+    if runner is None and executor is not None:
+        runner = executor.runner
     runner = runner or ExperimentRunner()
     machine = machine or MachineConfig()
     rows: List[Table1Row] = []
@@ -112,15 +123,27 @@ def table2(
     runner: Optional[ExperimentRunner] = None,
     workloads: Sequence[str] = tuple(SUITE),
     machine: Optional[MachineConfig] = None,
+    executor: Optional["SweepExecutor"] = None,
 ) -> List[Table2Row]:
-    """Compute Table 2 (primary results + model validation)."""
+    """Compute Table 2 (primary results + model validation).
+
+    With an ``executor``, the per-benchmark cells fan out in parallel;
+    rows always come back in ``workloads`` order.
+    """
+    if runner is None and executor is not None:
+        runner = executor.runner
     runner = runner or ExperimentRunner()
     machine = machine or MachineConfig()
+    configs = [
+        ExperimentConfig(workload=name, machine=machine, validate=True)
+        for name in workloads
+    ]
+    if executor is not None:
+        results = executor.run(configs)
+    else:
+        results = [runner.run(config) for config in configs]
     rows: List[Table2Row] = []
-    for name in workloads:
-        result = runner.run(
-            ExperimentConfig(workload=name, machine=machine, validate=True)
-        )
+    for name, result in zip(workloads, results):
         stats = result.preexec
         prediction = result.selection.prediction
         rows.append(

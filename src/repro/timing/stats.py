@@ -106,10 +106,70 @@ class SimStats:
         return entry[1] / entry[0]
 
     def speedup_over(self, baseline: "SimStats") -> float:
-        """Fractional IPC improvement over a baseline run."""
-        if baseline.ipc <= 0:
+        """Fractional IPC improvement over a baseline run.
+
+        An empty baseline (nothing simulated at all) legitimately has
+        no speedup and returns ``0.0``.  A baseline that *ran* but
+        retired no instructions — or burned no cycles while claiming to
+        retire some — has a broken IPC; treating it as "no speedup"
+        would silently mask the breakage, so it raises instead.
+        """
+        if not baseline.cycles and not baseline.instructions:
             return 0.0
+        if baseline.ipc <= 0:
+            raise ValueError(
+                f"broken baseline [{baseline.mode}]: "
+                f"{baseline.instructions} instructions in "
+                f"{baseline.cycles} cycles gives non-positive IPC"
+            )
         return self.ipc / baseline.ipc - 1.0
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict (see :meth:`from_dict`)."""
+        return {
+            "mode": self.mode,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches": self.branches,
+            "mispredictions": self.mispredictions,
+            "mispredicts_covered": self.mispredicts_covered,
+            "l1_misses": self.l1_misses,
+            "l2_misses": self.l2_misses,
+            "misses_fully_covered": self.misses_fully_covered,
+            "misses_partially_covered": self.misses_partially_covered,
+            "partial_covered_cycles": self.partial_covered_cycles,
+            "prefetches_evicted": self.prefetches_evicted,
+            "prefetches_unclaimed": self.prefetches_unclaimed,
+            "pthread_launches": self.pthread_launches,
+            "pthread_drops": self.pthread_drops,
+            "pthread_instructions": self.pthread_instructions,
+            "pthread_l2_misses": self.pthread_l2_misses,
+            "launches_by_trigger": {
+                str(pc): count
+                for pc, count in sorted(self.launches_by_trigger.items())
+            },
+            "miss_exposure": {
+                str(pc): list(entry)
+                for pc, entry in sorted(self.miss_exposure.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Rebuild from :meth:`to_dict` output."""
+        fields_ = dict(data)
+        launches = fields_.pop("launches_by_trigger", {})
+        exposure = fields_.pop("miss_exposure", {})
+        stats = cls(**fields_)
+        stats.launches_by_trigger = {
+            int(pc): int(count) for pc, count in launches.items()
+        }
+        stats.miss_exposure = {
+            int(pc): list(entry) for pc, entry in exposure.items()
+        }
+        return stats
 
     def describe(self) -> str:
         return (

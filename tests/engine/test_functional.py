@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine.functional import (
     ExecutionLimitExceeded,
+    FunctionalResult,
     FunctionalSimulator,
     run_program,
 )
@@ -169,3 +170,49 @@ class TestTraceGeneration:
         # The loop body executes 100 times.
         assert counts[6] == 100  # the load
         assert counts[3] == 101  # the bge (100 + exit check)
+
+
+class TestCodec:
+    def test_round_trip(self, sum_loop_program, tiny_hierarchy):
+        import numpy as np
+
+        result = run_program(sum_loop_program, tiny_hierarchy)
+        rebuilt = FunctionalResult.from_dict(result.to_dict())
+        for name in (
+            "instructions",
+            "traced_instructions",
+            "halted",
+            "loads",
+            "stores",
+            "branches",
+            "l1_misses",
+            "l2_misses",
+            "registers",
+            "load_level_counts",
+        ):
+            assert getattr(rebuilt, name) == getattr(result, name), name
+        assert rebuilt.memory.snapshot() == result.memory.snapshot()
+        assert len(rebuilt.trace) == len(result.trace)
+        for field in ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken"):
+            assert np.array_equal(
+                getattr(rebuilt.trace, field)[: len(rebuilt.trace)],
+                getattr(result.trace, field)[: len(result.trace)],
+            ), field
+
+    def test_dict_is_json_compatible(self, sum_loop_program, tiny_hierarchy):
+        import json
+
+        result = run_program(sum_loop_program, tiny_hierarchy)
+        rebuilt = FunctionalResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt.instructions == result.instructions
+        assert rebuilt.trace.record(0).pc == result.trace.record(0).pc
+
+    def test_traceless_round_trip(self, sum_loop_program, tiny_hierarchy):
+        result = run_program(
+            sum_loop_program, tiny_hierarchy, collect_trace=False
+        )
+        rebuilt = FunctionalResult.from_dict(result.to_dict())
+        assert rebuilt.trace is None
+        assert rebuilt.l2_misses == result.l2_misses

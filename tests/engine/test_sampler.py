@@ -22,6 +22,31 @@ class TestCyclicSampler:
     def test_always_on(self):
         assert all(ALWAYS_ON.phase(i) == Phase.ON for i in range(10))
 
+    def test_zero_off_starts_in_warm(self):
+        sampler = CyclicSampler(off=0, warm=4, on=4)
+        assert sampler.period == 8
+        assert sampler.phase(0) == Phase.WARM
+        assert sampler.phase(3) == Phase.WARM
+        assert sampler.phase(4) == Phase.ON
+        assert sampler.phase(7) == Phase.ON
+        assert sampler.phase(8) == Phase.WARM  # wraps straight to warm
+
+    def test_zero_warm_jumps_off_to_on(self):
+        sampler = CyclicSampler(off=6, warm=0, on=2)
+        assert sampler.phase(5) == Phase.OFF
+        assert sampler.phase(6) == Phase.ON
+        assert sampler.phase(7) == Phase.ON
+        assert sampler.phase(8) == Phase.OFF
+
+    def test_zero_off_and_warm_is_always_on(self):
+        sampler = CyclicSampler(off=0, warm=0, on=3)
+        assert all(sampler.phase(i) == Phase.ON for i in range(12))
+
+    def test_single_instruction_phases(self):
+        sampler = CyclicSampler(off=1, warm=1, on=1)
+        expected = [Phase.OFF, Phase.WARM, Phase.ON] * 2
+        assert [sampler.phase(i) for i in range(6)] == expected
+
     def test_validation(self):
         with pytest.raises(ValueError):
             CyclicSampler(off=0, warm=0, on=0)

@@ -32,35 +32,57 @@ class TestParser:
             _parse_workloads("nope")
 
 
-class TestExecution:
-    def test_run_pharmacy(self, capsys, monkeypatch):
-        # Shrink pharmacy so the CLI test stays fast.
-        from repro.workloads import pharmacy
+@pytest.fixture
+def hermetic_cli(monkeypatch):
+    """Keep CLI execution tests fast and self-contained.
 
-        monkeypatch.setitem(
-            pharmacy.INPUTS,
-            "train",
-            dict(
-                n_xact=500, n_drugs=8192, hot_drugs=512,
-                hot_fraction=0.45, seed=11,
-            ),
-        )
+    Shrinks the pharmacy build, pins the sweep to the in-process serial
+    path, and disables the persistent cache so tests never touch
+    ``~/.cache/repro``.
+    """
+    from repro.workloads import pharmacy
+
+    monkeypatch.setitem(
+        pharmacy.INPUTS,
+        "train",
+        dict(
+            n_xact=500, n_drugs=8192, hot_drugs=512,
+            hot_fraction=0.45, seed=11,
+        ),
+    )
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+
+
+class TestExecution:
+    def test_run_pharmacy(self, capsys, hermetic_cli):
         assert main(["run", "pharmacy"]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "trigger" in out
 
-    def test_table1_single_workload(self, capsys, monkeypatch):
-        from repro.workloads import pharmacy
-
-        monkeypatch.setitem(
-            pharmacy.INPUTS,
-            "train",
-            dict(
-                n_xact=500, n_drugs=8192, hot_drugs=512,
-                hot_fraction=0.45, seed=11,
-            ),
-        )
+    def test_table1_single_workload(self, capsys, hermetic_cli):
         assert main(["table1", "--workloads", "pharmacy"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "pharmacy" in out
+
+    def test_run_with_perf_report(self, capsys, hermetic_cli):
+        assert main(["run", "pharmacy", "--perf"]) == 0
+        out = capsys.readouterr().out
+        assert "Harness performance" in out
+        assert "disk hits" in out
+
+
+class TestCacheCommand:
+    def test_info_and_clear(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_disabled_cache_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        assert main(["cache", "info"]) == 0
+        assert "disabled" in capsys.readouterr().out

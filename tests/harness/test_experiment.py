@@ -24,7 +24,9 @@ def runner():
             n_drugs=16384,
             hot_drugs=1024,
         )
-        runner._workloads[("pharmacy", input_name, None)] = small
+        # The runner keys workloads on the *resolved* hierarchy, so one
+        # seed covers both the ``hierarchy=None`` and explicit-default
+        # spellings.
         runner._workloads[("pharmacy", input_name, small.hierarchy)] = small
     return runner
 
@@ -79,6 +81,56 @@ class TestPipeline:
         )
         for key in traces_before:
             assert runner._traces[key] is traces_before[key]
+
+
+class TestStageCaching:
+    def test_workload_key_resolves_default_hierarchy(self, runner):
+        from repro.workloads.common import SUITE_HIERARCHY
+
+        implicit = runner.workload("pharmacy", "train", None)
+        explicit = runner.workload("pharmacy", "train", SUITE_HIERARCHY)
+        assert implicit is explicit
+
+    def test_one_trace_computation_across_two_cell_sweep(self):
+        runner = fresh_small_runner()
+        runner.run(ExperimentConfig(workload="pharmacy"))
+        runner.run(
+            ExperimentConfig(
+                workload="pharmacy",
+                constraints=SelectionConstraints(max_pthread_length=16),
+            )
+        )
+        # Both cells share (workload, input, hierarchy): the trace and
+        # baseline are computed once and hit in memory the second time.
+        assert runner.perf.misses["trace"] == 1
+        assert runner.perf.hits["trace"] == 1
+        assert runner.perf.misses["baseline"] == 1
+        assert runner.perf.hits["baseline"] == 1
+        # The constraints differ, so selection legitimately reruns.
+        assert runner.perf.misses["selection"] == 2
+
+    def test_perfect_l2_cached_like_baseline(self):
+        runner = fresh_small_runner()
+        runner.run(ExperimentConfig(workload="pharmacy", validate=True))
+        runner.run(ExperimentConfig(workload="pharmacy", validate=True))
+        assert runner.perf.misses["perfect_l2"] == 1
+        assert runner.perf.hits["perfect_l2"] == 1
+
+    def test_timings_recorded_per_stage(self, runner):
+        result = runner.run(ExperimentConfig(workload="pharmacy"))
+        for stage in ("trace", "baseline", "selection", "timing"):
+            assert stage in result.timings
+            assert result.timings[stage] >= 0.0
+
+
+def fresh_small_runner() -> ExperimentRunner:
+    """An unshared runner (counter tests need pristine perf state)."""
+    runner = ExperimentRunner()
+    small = build(
+        "pharmacy", "train", n_xact=700, n_drugs=16384, hot_drugs=1024
+    )
+    runner._workloads[("pharmacy", "train", small.hierarchy)] = small
+    return runner
 
 
 class TestConfigurationKnobs:

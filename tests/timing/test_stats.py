@@ -1,0 +1,92 @@
+"""Tests for :mod:`repro.timing.stats`.
+
+``speedup_over`` regression: a broken baseline (ran, but its counters
+give a non-positive IPC) must raise instead of silently reporting a
+0.0% speedup — that silence hid real harness bugs.
+"""
+
+import pytest
+
+from repro.timing.stats import SimStats
+
+
+class TestSpeedupOver:
+    def test_normal_speedup(self):
+        base = SimStats(mode="baseline", cycles=200, instructions=100)
+        pre = SimStats(mode="pre-execution", cycles=100, instructions=100)
+        assert pre.speedup_over(base) == pytest.approx(1.0)
+
+    def test_slowdown_is_negative(self):
+        base = SimStats(mode="baseline", cycles=100, instructions=100)
+        pre = SimStats(mode="pre-execution", cycles=200, instructions=100)
+        assert pre.speedup_over(base) == pytest.approx(-0.5)
+
+    def test_empty_baseline_is_zero(self):
+        # Nothing simulated at all: legitimately no speedup to report.
+        base = SimStats(mode="baseline")
+        pre = SimStats(mode="pre-execution", cycles=100, instructions=100)
+        assert pre.speedup_over(base) == 0.0
+
+    def test_baseline_with_cycles_but_no_instructions_raises(self):
+        base = SimStats(mode="baseline", cycles=500, instructions=0)
+        pre = SimStats(mode="pre-execution", cycles=100, instructions=100)
+        with pytest.raises(ValueError, match="broken baseline"):
+            pre.speedup_over(base)
+
+    def test_error_names_the_mode(self):
+        base = SimStats(mode="perfect-L2", cycles=500, instructions=0)
+        with pytest.raises(ValueError, match="perfect-L2"):
+            SimStats(cycles=1, instructions=1).speedup_over(base)
+
+
+class TestCodec:
+    def test_round_trip(self):
+        stats = SimStats(
+            mode="pre-execution",
+            cycles=1234,
+            instructions=987,
+            loads=300,
+            stores=120,
+            branches=88,
+            mispredictions=9,
+            l1_misses=40,
+            l2_misses=17,
+            misses_fully_covered=11,
+            misses_partially_covered=3,
+            partial_covered_cycles=210,
+            prefetches_evicted=1,
+            prefetches_unclaimed=2,
+            pthread_launches=25,
+            pthread_drops=4,
+            pthread_instructions=300,
+            pthread_l2_misses=15,
+            launches_by_trigger={7: 12, 42: 13},
+            miss_exposure={7: [5, 321.0], 42: [2, 88.5]},
+        )
+        assert SimStats.from_dict(stats.to_dict()) == stats
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        stats = SimStats(cycles=10, instructions=5)
+        stats.launches_by_trigger = {3: 1}
+        stats.miss_exposure = {3: [1, 2.0]}
+        rebuilt = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert rebuilt == stats
+        assert rebuilt.launches_by_trigger == {3: 1}
+        assert rebuilt.miss_exposure == {3: [1, 2.0]}
+
+    def test_round_trip_preserves_derived_metrics(self):
+        stats = SimStats(
+            cycles=100,
+            instructions=80,
+            l2_misses=10,
+            misses_fully_covered=4,
+            misses_partially_covered=2,
+            pthread_launches=5,
+            pthread_instructions=40,
+        )
+        rebuilt = SimStats.from_dict(stats.to_dict())
+        assert rebuilt.ipc == stats.ipc
+        assert rebuilt.coverage_fraction == stats.coverage_fraction
+        assert rebuilt.avg_pthread_length == stats.avg_pthread_length
