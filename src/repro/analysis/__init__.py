@@ -1,0 +1,80 @@
+"""Static analysis over the toy ISA: dataflow, p-thread verification,
+and workload linting.
+
+Public surface::
+
+    from repro.analysis import (
+        ControlFlowGraph, def_use_chains, live_variables,   # dataflow
+        verify_body, verify_pthread, verify_selection,       # verifier
+        lint_program, lint_source, lint_workload,            # linter
+        Diagnostic, Severity, verification_enabled,          # reporting
+    )
+"""
+
+from repro.analysis.dataflow import (
+    ENTRY_DEF,
+    ControlFlowGraph,
+    DataflowProblem,
+    DataflowResult,
+    Direction,
+    constant_registers,
+    def_use_chains,
+    live_variables,
+    reaching_definitions,
+    solve,
+)
+from repro.analysis.program_lint import (
+    lint_program,
+    lint_source,
+    lint_workload,
+)
+from repro.analysis.report import (
+    VERIFY_ENV,
+    Diagnostic,
+    Severity,
+    VerificationError,
+    assert_clean,
+    errors,
+    max_severity,
+    render_json,
+    render_text,
+    verification_enabled,
+)
+from repro.analysis.verifier import (
+    summarize,
+    verify_body,
+    verify_pthread,
+    verify_selection,
+    verify_slice,
+)
+
+__all__ = [
+    "ENTRY_DEF",
+    "ControlFlowGraph",
+    "DataflowProblem",
+    "DataflowResult",
+    "Direction",
+    "constant_registers",
+    "def_use_chains",
+    "live_variables",
+    "reaching_definitions",
+    "solve",
+    "lint_program",
+    "lint_source",
+    "lint_workload",
+    "VERIFY_ENV",
+    "Diagnostic",
+    "Severity",
+    "VerificationError",
+    "assert_clean",
+    "errors",
+    "max_severity",
+    "render_json",
+    "render_text",
+    "verification_enabled",
+    "summarize",
+    "verify_body",
+    "verify_pthread",
+    "verify_selection",
+    "verify_slice",
+]

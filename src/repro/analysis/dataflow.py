@@ -1,0 +1,473 @@
+"""Generic static dataflow analysis over the toy ISA.
+
+Two layers:
+
+* :class:`ControlFlowGraph` — an instruction-granular CFG over any
+  instruction sequence (a full :class:`~repro.isa.program.Program` with
+  branches, or a straight-line p-thread body, which degenerates to a
+  chain).  Provides reachability, blocked-path queries, and dominators.
+* :func:`solve` — a worklist fixpoint solver for any
+  :class:`DataflowProblem` (forward or backward).  On a chain CFG the
+  worklist converges in one linear scan, which is exactly the paper's
+  observation that control-less p-threads replace "traditional
+  control-flow and iterative data-flow analyses ... by a simple linear
+  scan"; on a full program it is the classic iterative algorithm.
+
+Three problem instances cover everything the verifier and linter need:
+reaching definitions (def-use chains), live variables, and constant
+propagation (used to resolve statically-known load/store addresses
+against the data image).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Generic,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_REGS
+
+T = TypeVar("T")
+
+#: Pseudo definition site: the initial register file (all registers 0).
+ENTRY_DEF = -1
+
+
+class ControlFlowGraph:
+    """Instruction-granular CFG with successor/predecessor edges.
+
+    Args:
+        instructions: the instruction sequence (``pc`` = index).
+        labels: label name -> instruction index; used as the
+            conservative target set for register-indirect jumps (``jr``
+            can reach any labelled instruction).
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.instructions = list(instructions)
+        n = len(self.instructions)
+        label_targets = sorted(set((labels or {}).values()))
+        succs: List[Tuple[int, ...]] = []
+        #: Indices whose fall-through would leave the program entirely
+        #: (no halt, jump, or in-range successor) — a linter condition.
+        self.falls_off_end: FrozenSet[int] = frozenset()
+        off_end = set()
+        for index, inst in enumerate(self.instructions):
+            out: List[int] = []
+            if inst.is_halt:
+                pass
+            elif inst.op is Opcode.JR:
+                out.extend(t for t in label_targets if 0 <= t < n)
+            elif inst.is_jump:
+                if inst.target is not None:
+                    out.append(int(inst.target))
+                if inst.op is Opcode.JAL and index + 1 < n:
+                    # The link successor models the eventual return.
+                    out.append(index + 1)
+            elif inst.is_branch:
+                if inst.target is not None:
+                    out.append(int(inst.target))
+                if index + 1 < n:
+                    out.append(index + 1)
+                else:
+                    off_end.add(index)
+            else:
+                if index + 1 < n:
+                    out.append(index + 1)
+                else:
+                    off_end.add(index)
+            succs.append(tuple(dict.fromkeys(t for t in out if 0 <= t < n)))
+        self.succs = succs
+        self.falls_off_end = frozenset(off_end)
+        preds: List[List[int]] = [[] for _ in range(n)]
+        for index, out in enumerate(succs):
+            for target in out:
+                preds[target].append(index)
+        self.preds: List[Tuple[int, ...]] = [tuple(p) for p in preds]
+
+    @classmethod
+    def from_program(cls, program: Program) -> "ControlFlowGraph":
+        return cls(program.instructions, labels=program.labels)
+
+    @classmethod
+    def from_instructions(
+        cls, instructions: Sequence[Instruction]
+    ) -> "ControlFlowGraph":
+        """Chain CFG for a straight-line sequence (p-thread body)."""
+        return cls(instructions, labels={})
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def reachable(self, start: int = 0) -> FrozenSet[int]:
+        """Instruction indices reachable from ``start``."""
+        seen = set()
+        work = [start]
+        while work:
+            index = work.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            work.extend(s for s in self.succs[index] if s not in seen)
+        return frozenset(seen)
+
+    def reaches(
+        self, src: int, dst: int, blocked: Iterable[int] = ()
+    ) -> bool:
+        """True if ``dst`` is reachable from ``src`` avoiding ``blocked``.
+
+        ``src`` itself is never blocked; a path of length zero (``src ==
+        dst``) counts.
+        """
+        blocked_set = frozenset(blocked)
+        seen = set()
+        work = [src]
+        while work:
+            index = work.pop()
+            if index == dst:
+                return True
+            if index in seen or (index in blocked_set and index != src):
+                continue
+            seen.add(index)
+            work.extend(s for s in self.succs[index] if s not in seen)
+        return False
+
+    def dominators(self, entry: int = 0) -> List[FrozenSet[int]]:
+        """Per-instruction dominator sets (classic iterative algorithm).
+
+        Unreachable instructions report the full set (vacuous
+        domination), as is conventional.
+        """
+        n = len(self.instructions)
+        everything = frozenset(range(n))
+        dom: List[FrozenSet[int]] = [everything] * n
+        dom[entry] = frozenset({entry})
+        order = sorted(self.reachable(entry) - {entry})
+        changed = True
+        while changed:
+            changed = False
+            for index in order:
+                pred_doms = [dom[p] for p in self.preds[index]]
+                if pred_doms:
+                    new = frozenset.intersection(*pred_doms) | {index}
+                else:
+                    new = frozenset({index})
+                if new != dom[index]:
+                    dom[index] = new
+                    changed = True
+        return dom
+
+    def dominates(self, a: int, b: int, entry: int = 0) -> bool:
+        """True if ``a`` dominates ``b`` (every entry path to b hits a)."""
+        return a in self.dominators(entry)[b]
+
+
+class Direction(enum.Enum):
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowProblem(Generic[T]):
+    """One dataflow problem: lattice values plus transfer/meet.
+
+    Subclasses define:
+
+    * ``direction`` — :data:`Direction.FORWARD` or ``BACKWARD``;
+    * ``boundary()`` — the value at the entry (forward) or exit
+      (backward) of the graph;
+    * ``initial()`` — the optimistic starting value for interior
+      points (the lattice top);
+    * ``transfer(index, inst, value)`` — the per-instruction transfer
+      function;
+    * ``meet(a, b)`` — the confluence operator.
+    """
+
+    direction: Direction = Direction.FORWARD
+
+    def boundary(self) -> T:
+        raise NotImplementedError
+
+    def initial(self) -> T:
+        raise NotImplementedError
+
+    def transfer(self, index: int, inst: Instruction, value: T) -> T:
+        raise NotImplementedError
+
+    def meet(self, a: T, b: T) -> T:
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult(Generic[T]):
+    """Fixpoint solution: a value at the entry and exit of each index.
+
+    For a forward problem ``in_values[i]`` is the state before ``i``
+    executes and ``out_values[i]`` after; for a backward problem
+    ``in_values[i]`` is the state *after* ``i`` in program order (the
+    analysis' input) and ``out_values[i]`` before it.
+    """
+
+    in_values: List[T]
+    out_values: List[T]
+
+
+def solve(
+    cfg: ControlFlowGraph, problem: DataflowProblem[T]
+) -> DataflowResult[T]:
+    """Worklist fixpoint of ``problem`` over ``cfg``.
+
+    Straight-line chains converge in a single linear pass; cyclic
+    graphs iterate to a fixpoint.  Unreachable instructions keep the
+    optimistic ``initial()`` value.
+    """
+    n = len(cfg)
+    forward = problem.direction is Direction.FORWARD
+    edges_in = cfg.preds if forward else cfg.succs
+    edges_out = cfg.succs if forward else cfg.preds
+    boundary_nodes = {0} if forward else set(
+        index for index in range(n) if not cfg.succs[index]
+    )
+    # A backward problem over a graph with no natural exits (e.g. an
+    # infinite loop) still needs a seed.
+    if not boundary_nodes:
+        boundary_nodes = {n - 1}
+
+    in_values: List[T] = [problem.initial() for _ in range(n)]
+    out_values: List[T] = [problem.initial() for _ in range(n)]
+    # Every node is seeded (not just the boundary): a node whose first
+    # computed value happens to equal the optimistic initial value
+    # would otherwise never enqueue its neighbours.  Processing in
+    # program order (reverse for backward problems) converges in one
+    # pass on straight-line code.
+    work = list(range(n)) if forward else list(range(n - 1, -1, -1))
+    pending = set(work)
+    first_visit = [True] * n
+    while work:
+        index = work.pop(0)
+        pending.discard(index)
+        value: Optional[T] = None
+        for other in edges_in[index]:
+            contribution = out_values[other]
+            value = (
+                contribution
+                if value is None
+                else problem.meet(value, contribution)
+            )
+        if index in boundary_nodes:
+            boundary = problem.boundary()
+            value = boundary if value is None else problem.meet(value, boundary)
+        if value is None:
+            value = problem.initial()
+        in_values[index] = value
+        new_out = problem.transfer(index, cfg.instructions[index], value)
+        if new_out != out_values[index] or first_visit[index]:
+            out_values[index] = new_out
+            for other in edges_out[index]:
+                if other not in pending:
+                    pending.add(other)
+                    work.append(other)
+        first_visit[index] = False
+    return DataflowResult(in_values=in_values, out_values=out_values)
+
+
+# -- reaching definitions -----------------------------------------------
+
+#: Reaching-definitions state: register -> definition sites (indices,
+#: with :data:`ENTRY_DEF` for the initial register file).
+RegDefs = Tuple[Tuple[int, FrozenSet[int]], ...]
+
+
+def _defs_to_dict(state: RegDefs) -> Dict[int, FrozenSet[int]]:
+    return dict(state)
+
+
+class ReachingDefinitions(DataflowProblem[RegDefs]):
+    """Which definition sites can produce each register's value."""
+
+    direction = Direction.FORWARD
+
+    def boundary(self) -> RegDefs:
+        return tuple(
+            (reg, frozenset({ENTRY_DEF})) for reg in range(NUM_REGS)
+        )
+
+    def initial(self) -> RegDefs:
+        return ()
+
+    def transfer(
+        self, index: int, inst: Instruction, value: RegDefs
+    ) -> RegDefs:
+        dest = inst.dest()
+        if dest is None or dest == 0:
+            return value
+        state = _defs_to_dict(value)
+        state[dest] = frozenset({index})
+        return tuple(sorted(state.items()))
+
+    def meet(self, a: RegDefs, b: RegDefs) -> RegDefs:
+        state = _defs_to_dict(a)
+        for reg, defs in b:
+            state[reg] = state.get(reg, frozenset()) | defs
+        return tuple(sorted(state.items()))
+
+
+def reaching_definitions(
+    cfg: ControlFlowGraph,
+) -> List[Dict[int, FrozenSet[int]]]:
+    """Per instruction: register -> reaching definition sites."""
+    result = solve(cfg, ReachingDefinitions())
+    return [_defs_to_dict(value) for value in result.in_values]
+
+
+def def_use_chains(cfg: ControlFlowGraph) -> List[Dict[int, FrozenSet[int]]]:
+    """Per instruction: source register -> its possible producers.
+
+    Producers are instruction indices, or :data:`ENTRY_DEF` when the
+    initial register file (value 0) can reach the use.  Register 0 is
+    the hardwired zero and is never listed.
+    """
+    reaching = reaching_definitions(cfg)
+    chains: List[Dict[int, FrozenSet[int]]] = []
+    for index, inst in enumerate(cfg.instructions):
+        uses: Dict[int, FrozenSet[int]] = {}
+        for src in inst.sources():
+            if src is None or src == 0:
+                continue
+            uses[src] = reaching[index].get(src, frozenset())
+        chains.append(uses)
+    return chains
+
+
+# -- live variables -----------------------------------------------------
+
+Live = FrozenSet[int]
+
+
+class LiveVariables(DataflowProblem[Live]):
+    """Registers whose values may still be read downstream."""
+
+    direction = Direction.BACKWARD
+
+    def boundary(self) -> Live:
+        return frozenset()
+
+    def initial(self) -> Live:
+        return frozenset()
+
+    def transfer(self, index: int, inst: Instruction, value: Live) -> Live:
+        live = set(value)
+        dest = inst.dest()
+        if dest is not None and dest != 0:
+            live.discard(dest)
+        for src in inst.sources():
+            if src is not None and src != 0:
+                live.add(src)
+        return frozenset(live)
+
+    def meet(self, a: Live, b: Live) -> Live:
+        return a | b
+
+
+def live_variables(cfg: ControlFlowGraph) -> List[FrozenSet[int]]:
+    """Per instruction: registers live *before* the instruction."""
+    result = solve(cfg, LiveVariables())
+    return result.out_values
+
+
+# -- constant propagation ----------------------------------------------
+
+#: Constant state: register -> known constant.  A register absent from
+#: the mapping is non-constant.  The whole-state value ``None`` is the
+#: optimistic "unreached" top.
+Consts = Optional[Tuple[Tuple[int, int], ...]]
+
+
+class ConstantPropagation(DataflowProblem[Consts]):
+    """Registers holding statically-known constants.
+
+    The entry state knows every register: the register file starts
+    zeroed.  Loads and jump-and-link results are non-constant.
+    """
+
+    direction = Direction.FORWARD
+
+    def boundary(self) -> Consts:
+        return tuple((reg, 0) for reg in range(NUM_REGS))
+
+    def initial(self) -> Consts:
+        return None
+
+    def transfer(
+        self, index: int, inst: Instruction, value: Consts
+    ) -> Consts:
+        if value is None:
+            return None
+        state = dict(value)
+        dest = inst.dest()
+        if dest is None or dest == 0:
+            return value
+        info = inst.info
+        result: Optional[int] = None
+        if info.alu is not None:
+            a = 0 if inst.rs1 in (None, 0) else state.get(inst.rs1)
+            if inst.rs2 is not None:
+                b: Optional[int] = (
+                    0 if inst.rs2 == 0 else state.get(inst.rs2)
+                )
+            else:
+                b = inst.imm
+            if a is not None and b is not None:
+                result = info.alu(a, b)
+        if result is None:
+            state.pop(dest, None)
+        else:
+            state[dest] = result
+        return tuple(sorted(state.items()))
+
+    def meet(self, a: Consts, b: Consts) -> Consts:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        other = dict(b)
+        merged = tuple(
+            (reg, const)
+            for reg, const in a
+            if other.get(reg) == const
+        )
+        return merged
+
+
+def constant_registers(
+    cfg: ControlFlowGraph,
+) -> List[Optional[Dict[int, int]]]:
+    """Per instruction: known-constant registers before it executes.
+
+    ``None`` marks instructions the analysis never reached.
+    """
+    result = solve(cfg, ConstantPropagation())
+    values: List[Optional[Dict[int, int]]] = []
+    reachable = cfg.reachable()
+    for index, value in enumerate(result.in_values):
+        if value is None or index not in reachable:
+            values.append(None)
+        else:
+            values.append(dict(value))
+    return values

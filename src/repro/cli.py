@@ -9,6 +9,8 @@ Commands mirror the paper's artifacts::
     python -m repro figure 4 -j 4         # ... across 4 processes
     python -m repro branches vpr.p        # branch pre-execution
     python -m repro cache info            # persistent-cache contents
+    python -m repro lint all --strict     # static lints, all workloads
+    python -m repro lint mcf --pthreads   # ... plus p-thread verification
 
 Sweeps accept ``--workloads`` to restrict the suite, ``--jobs/-j`` to
 fan cells out over worker processes (default ``REPRO_JOBS``, then the
@@ -21,6 +23,8 @@ write to ``results/``.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -77,10 +81,28 @@ def _print_perf(args: argparse.Namespace, executor: SweepExecutor) -> None:
         print(executor.perf.render())
 
 
+def _apply_verify(args: argparse.Namespace) -> None:
+    """Turn ``--verify`` into the ``REPRO_VERIFY`` environment switch.
+
+    The environment variable (rather than a parameter threaded through
+    every stage) is what parallel sweep workers inherit, so ``--verify``
+    covers them too.
+    """
+    if getattr(args, "verify", False):
+        from repro.analysis.report import VERIFY_ENV
+
+        os.environ[VERIFY_ENV] = "1"
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
+    _apply_verify(args)
     runner = ExperimentRunner(artifacts=_artifacts(args))
     result = runner.run(
-        ExperimentConfig(workload=args.workload, validate=args.validate)
+        ExperimentConfig(
+            workload=args.workload,
+            validate=args.validate,
+            verify=args.verify,
+        )
     )
     print(result.selection.describe())
     for pthread in result.selection.pthreads:
@@ -101,6 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 
 def _cmd_table(args: argparse.Namespace) -> None:
+    _apply_verify(args)
     executor = _executor(args)
     workloads = _parse_workloads(args.workloads)
     if args.which == "1":
@@ -111,6 +134,7 @@ def _cmd_table(args: argparse.Namespace) -> None:
 
 
 def _cmd_figure(args: argparse.Namespace) -> None:
+    _apply_verify(args)
     executor = _executor(args)
     workloads = _parse_workloads(args.workloads)
     figure_fn = _FIGURES.get(args.which)
@@ -136,6 +160,71 @@ def _cmd_cache(args: argparse.Namespace) -> None:
     for kind in sorted(counts):
         print(f"  {kind:<11} {counts[kind]} artifact(s)")
     print(f"  total size  {cache.size_bytes() / 1024.0:.1f} KiB")
+
+
+def _pthread_diagnostics(name: str, input_name: str):
+    """Trace + select ``name`` and verify the resulting p-threads.
+
+    Uses a fixed unassisted IPC: the PT invariants are structural and
+    do not depend on the model's timing inputs, so the expensive
+    baseline timing simulation is skipped.
+    """
+    from repro.analysis.verifier import verify_selection
+    from repro.engine import run_program
+    from repro.model import ModelParams, SelectionConstraints
+    from repro.selection import select_pthreads
+    from repro.workloads import build
+
+    workload = build(name, input_name)
+    trace = run_program(workload.program, workload.hierarchy)
+    params = ModelParams(
+        bw_seq=8,
+        unassisted_ipc=1.0,
+        mem_latency=workload.hierarchy.mem_latency,
+        load_latency=workload.hierarchy.l1.hit_latency,
+    )
+    constraints = SelectionConstraints()
+    selection = select_pthreads(
+        workload.program, trace.trace, params, constraints
+    )
+    return verify_selection(
+        workload.program, selection.pthreads, constraints
+    )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, lint_workload, render_text
+
+    names = (
+        SUITE + ["pharmacy"] if args.workload == "all" else [args.workload]
+    )
+    worst: Optional[Severity] = None
+    per_workload = {}
+    for name in names:
+        diagnostics = lint_workload(name, args.input)
+        if args.pthreads:
+            diagnostics = diagnostics + _pthread_diagnostics(
+                name, args.input
+            )
+        per_workload[name] = diagnostics
+        for diagnostic in diagnostics:
+            if worst is None or diagnostic.severity > worst:
+                worst = diagnostic.severity
+    if args.format == "json":
+        payload = {
+            "input": args.input,
+            "workloads": {
+                name: [d.to_dict() for d in diags]
+                for name, diags in per_workload.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, diags in per_workload.items():
+            print(render_text(diags, title=f"{name} ({args.input}):"))
+    if args.strict and worst is Severity.ERROR:
+        return 1
+    return 0
 
 
 def _cmd_branches(args: argparse.Namespace) -> None:
@@ -188,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--perf", action="store_true",
             help="append a stage-timing / cache hit-miss report",
         )
+        p.add_argument(
+            "--verify", action="store_true",
+            help=(
+                "statically verify p-thread invariants after every "
+                "transformation (sets REPRO_VERIFY=1)"
+            ),
+        )
         if jobs:
             p.add_argument(
                 "--jobs", "-j", type=int, default=None,
@@ -229,14 +325,37 @@ def build_parser() -> argparse.ArgumentParser:
     branch_parser.add_argument("workload", choices=SUITE + ["pharmacy"])
     branch_parser.set_defaults(func=_cmd_branches)
 
+    lint_parser = sub.add_parser(
+        "lint", help="static lints and p-thread verification reports"
+    )
+    lint_parser.add_argument(
+        "workload", choices=SUITE + ["pharmacy", "all"],
+        help="workload to lint, or 'all' for the whole bundle",
+    )
+    lint_parser.add_argument(
+        "--input", default="train", help="input set to build (default train)"
+    )
+    lint_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any error-severity diagnostic is found",
+    )
+    lint_parser.add_argument(
+        "--pthreads", action="store_true",
+        help="also run selection and verify the resulting p-threads",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    rc = args.func(args)
+    return rc or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,14 +23,13 @@ from repro.engine.decode import (
     K_JR,
     K_JUMP,
     K_LOAD,
-    K_NOP,
     K_STORE,
 )
 from repro.engine.sampler import CyclicSampler, Phase
 from repro.engine.trace import Trace
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS
-from repro.memory.hierarchy import FunctionalHierarchy, HierarchyConfig, MemoryLevel
+from repro.memory.hierarchy import FunctionalHierarchy, HierarchyConfig
 from repro.memory.main_memory import MainMemory
 
 

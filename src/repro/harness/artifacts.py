@@ -240,7 +240,10 @@ class ArtifactCache:
             return json.loads(target.read_text())
         except FileNotFoundError:
             return None
-        except (json.JSONDecodeError, pickle.UnpicklingError, EOFError):
+        except Exception:
+            # Corrupt bytes make pickle raise far more than
+            # UnpicklingError (ValueError, KeyError, AttributeError,
+            # UnicodeDecodeError, ...); every decode failure is a miss.
             return None
 
     def store(self, kind: str, key: str, payload) -> None:

@@ -18,9 +18,10 @@ vary.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
+from repro.analysis.report import assert_clean, verification_enabled
 from repro.engine.functional import FunctionalResult, run_program
 from repro.harness.artifacts import (
     ArtifactCache,
@@ -74,6 +75,10 @@ class ExperimentConfig:
             critical-path extension the paper lists as future work.
         validate: also run the overhead-only / latency-only /
             perfect-L2 validation simulations.
+        verify: statically verify the selection's p-thread invariants
+            (PT001–PT006) and fail on any error.  Unlike the
+            ``REPRO_VERIFY`` transformation hooks, this also covers
+            selections loaded from the persistent artifact cache.
     """
 
     workload: str
@@ -88,6 +93,7 @@ class ExperimentConfig:
     granularity: Optional[int] = None
     effective_latency: bool = False
     validate: bool = False
+    verify: bool = False
 
 
 @dataclass
@@ -416,6 +422,20 @@ class ExperimentRunner:
                 lmem_overrides,
             )
         timings["selection"] = time.perf_counter() - start
+
+        if config.verify or verification_enabled():
+            # Covers cache-loaded selections, which the in-pipeline
+            # REPRO_VERIFY hooks never see.
+            from repro.analysis.verifier import verify_selection
+
+            assert_clean(
+                verify_selection(
+                    profile_workload.program,
+                    selection.pthreads,
+                    config.constraints,
+                ),
+                f"experiment({config.workload!r}) selection",
+            )
 
         # --- measurement ----------------------------------------------
         def simulate(mode) -> SimStats:

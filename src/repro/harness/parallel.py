@@ -29,7 +29,7 @@ import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.harness.artifacts import ArtifactCache, PerfCounters
 from repro.harness.experiment import (

@@ -10,7 +10,7 @@ validation methodology (§4.2/§4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.harness.experiment import ExperimentConfig, ExperimentRunner
 from repro.harness.report import render_table

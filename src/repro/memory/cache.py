@@ -14,7 +14,7 @@ charged to the bus model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 
 @dataclass(frozen=True)

@@ -154,6 +154,18 @@ def merge_two(
             for t in b.original_targets
         }
     )
+    # Debug-mode post-pass: the merged layout must preserve each
+    # component's computation (lazy import: repro.analysis imports us).
+    from repro.analysis.report import assert_clean, verification_enabled
+
+    if verification_enabled():
+        from repro.analysis.verifier import verify_body
+
+        assert_clean(
+            verify_body(merged_original.instructions, targets=targets),
+            f"merge_two(trigger=#{a.trigger_pc:04d}, "
+            f"prefix={prefix_len})",
+        )
     if optimize:
         final_body = optimize_body(merged_original, targets=targets).body
     else:

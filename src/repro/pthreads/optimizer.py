@@ -358,6 +358,18 @@ def optimize_body(
         targets=tuple(target_list),
         report=report,
     )
+    # Debug-mode post-pass: static verification supplements the
+    # randomized-execution oracle the optimizer tests use (lazy import:
+    # repro.analysis imports this module).
+    from repro.analysis.report import assert_clean, verification_enabled
+
+    if verification_enabled():
+        from repro.analysis.verifier import verify_body
+
+        assert_clean(
+            verify_body(result.body.instructions, targets=result.targets),
+            f"optimize_body({body.size} -> {result.body.size} insts)",
+        )
     if len(_MEMO) >= _MEMO_LIMIT:
         _MEMO.clear()
     _MEMO[key] = result

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.engine.trace import Trace
 from repro.frontend.branch_predictor import HybridPredictor
-from repro.isa.opcodes import Format, opinfo, Opcode
+from repro.isa.opcodes import Format, opinfo
 from repro.isa.program import Program
 from repro.model.params import ModelParams, SelectionConstraints
 from repro.selection.program_selector import (

@@ -10,7 +10,7 @@ p-threads that share triggers and dataflow prefixes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -272,6 +272,19 @@ def select_pthreads(
     launches = sum(p.prediction.dc_trig for p in pthreads)
     injected = sum(p.prediction.injected_instructions for p in pthreads)
     oh_agg_total = sum(p.prediction.oh_agg for p in pthreads)
+
+    # Debug-mode post-pass: the finished selection must satisfy every
+    # p-thread invariant (lazy import: repro.analysis imports this
+    # package's types).
+    from repro.analysis.report import assert_clean, verification_enabled
+
+    if verification_enabled():
+        from repro.analysis.verifier import verify_selection
+
+        assert_clean(
+            verify_selection(program, pthreads, constraints),
+            f"select_pthreads({program.name!r}, {len(pthreads)} p-threads)",
+        )
 
     stop = len(trace) if end is None else min(end, len(trace))
     region_misses = sum(tree.total_misses() for tree in trees.values())

@@ -22,7 +22,7 @@ reductions no longer change the selection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.isa.program import Program
 from repro.model.advantage import CandidateScore, evaluate_candidate

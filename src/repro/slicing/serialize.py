@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, IO, List, Union
+from typing import Dict, IO, Union
 
 from repro.slicing.slice_tree import SliceNode, SliceTree
 

@@ -114,8 +114,16 @@ class Slicer:
                 if producer in position and producer != idx:
                     producer_positions.append(position[producer])
             deps.append(tuple(sorted(set(producer_positions))))
-        return DynamicSlice(
+        result = DynamicSlice(
             root=root,
             indices=tuple(members),
             dep_positions=tuple(deps),
         )
+        # Debug-mode post-pass (lazy import: repro.analysis imports us).
+        from repro.analysis.report import assert_clean, verification_enabled
+
+        if verification_enabled():
+            from repro.analysis.verifier import verify_slice
+
+            assert_clean(verify_slice(result), f"slice_at(root={root})")
+        return result

@@ -41,7 +41,6 @@ from repro.engine.decode import (
     K_JR,
     K_JUMP,
     K_LOAD,
-    K_NOP,
     K_STORE,
 )
 from repro.frontend.branch_predictor import HybridPredictor
@@ -544,7 +543,6 @@ class TimingSimulator:
         lat_arr = body.latency
         burst_index = 0
         bursts = body.bursts
-        next_burst_start = bursts[0][1] if bursts else 0
 
         for j in range(body.size):
             while (

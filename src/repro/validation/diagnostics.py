@@ -11,6 +11,7 @@ tolerance so inaccuracies can be localized.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -30,9 +31,17 @@ class Diagnostic:
 
     @property
     def ratio(self) -> float:
-        """measured / predicted (1.0 = perfect); inf-safe."""
+        """measured / predicted (1.0 = perfect).
+
+        Zero cases are explicit: predicting zero and measuring zero is
+        a vacuously exact prediction (1.0); predicting zero while
+        measuring something is an unbounded miss (``inf``, which the
+        correlation summary masks as non-finite).
+        """
         if self.predicted == 0:
-            return float("nan") if self.measured else 1.0
+            if self.measured == 0:
+                return 1.0
+            return math.inf
         return self.measured / self.predicted
 
     @property

@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List
 
-from repro.isa.program import DataImage, Program
+from repro.isa.program import DataImage
 from repro.memory.cache import CacheConfig
 from repro.memory.hierarchy import HierarchyConfig
 

@@ -33,6 +33,7 @@ start:
     addi a0, zero, 0
     addi a1, zero, {n_chains}
     addi s0, zero, {heads_base}
+    addi s5, zero, 500         # cheap-arc cost threshold
 outer:
     bge  a0, a1, done
     lw   t0, 0(s0)             # node = heads[i]

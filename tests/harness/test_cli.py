@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_workloads, build_parser, main
@@ -71,6 +73,57 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Harness performance" in out
         assert "disk hits" in out
+
+
+class TestLintCommand:
+    def test_lint_clean_workload_text(self, capsys, hermetic_cli):
+        assert main(["lint", "pharmacy"]) == 0
+        out = capsys.readouterr().out
+        assert "pharmacy (train):" in out
+        assert "clean (no diagnostics)" in out
+
+    def test_lint_json_format(self, capsys, hermetic_cli):
+        assert main(["lint", "pharmacy", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["input"] == "train"
+        assert payload["workloads"] == {"pharmacy": []}
+
+    def test_lint_all_strict_is_clean(self, capsys, hermetic_cli):
+        # Every bundled workload must lint clean, so --strict exits 0.
+        assert main(["lint", "all", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf (train):" in out
+        assert "pharmacy (train):" in out
+
+    def test_lint_strict_propagates_errors(self, capsys, hermetic_cli, monkeypatch):
+        from repro.analysis.report import Diagnostic, Severity
+        from repro import cli
+
+        def broken(name, input_name):
+            return [Diagnostic("PL005", Severity.ERROR, "falls off the end")]
+
+        monkeypatch.setattr(cli, "_pthread_diagnostics", broken)
+        # Without --pthreads the injected error never runs: exit 0.
+        assert main(["lint", "pharmacy", "--strict"]) == 0
+        capsys.readouterr()
+        # With it, --strict must surface the error as exit code 1.
+        assert main(["lint", "pharmacy", "--strict", "--pthreads"]) == 1
+        assert "PL005" in capsys.readouterr().out
+
+    def test_lint_pthreads_verifies_selection(self, capsys, hermetic_cli):
+        assert main(["lint", "pharmacy", "--strict", "--pthreads"]) == 0
+        capsys.readouterr()
+
+    def test_run_accepts_verify_flag(self, capsys, hermetic_cli, monkeypatch):
+        import os
+
+        # setenv (not delenv) so monkeypatch records a restore point:
+        # --verify mutates os.environ and must not leak past this test.
+        monkeypatch.setenv("REPRO_VERIFY", "0")
+        assert main(["run", "pharmacy", "--verify"]) == 0
+        # The flag arms the hook environment for worker processes too.
+        assert os.environ.get("REPRO_VERIFY") == "1"
+        assert "speedup" in capsys.readouterr().out
 
 
 class TestCacheCommand:

@@ -1,5 +1,7 @@
 """Tests for the predicted-vs-measured validation machinery."""
 
+import math
+
 import pytest
 
 from repro.harness.experiment import ExperimentConfig, ExperimentRunner
@@ -24,7 +26,12 @@ def result():
 class TestDiagnostic:
     def test_ratio(self):
         assert Diagnostic("x", 10, 5).ratio == 0.5
+
+    def test_ratio_zero_zero_is_vacuously_exact(self):
         assert Diagnostic("x", 0, 0).ratio == 1.0
+
+    def test_ratio_zero_prediction_nonzero_measurement_is_inf(self):
+        assert Diagnostic("x", 0, 3).ratio == math.inf
 
     def test_relative_error(self):
         assert Diagnostic("x", 12, 10).relative_error == pytest.approx(0.2)
