@@ -11,11 +11,14 @@ Commands mirror the paper's artifacts::
     python -m repro cache info            # persistent-cache contents
     python -m repro lint all --strict     # static lints, all workloads
     python -m repro lint mcf --pthreads   # ... plus p-thread verification
+    python -m repro bench speed           # engine throughput benchmark
 
 Sweeps accept ``--workloads`` to restrict the suite, ``--jobs/-j`` to
 fan cells out over worker processes (default ``REPRO_JOBS``, then the
-CPU count), ``--no-cache`` to skip the persistent artifact cache, and
-``--perf`` to append a stage-timing / cache-effectiveness report.
+CPU count), ``--no-cache`` to skip the persistent artifact cache,
+``--engine compiled|interp`` to pick the simulation engine (default
+compiled; also via ``REPRO_ENGINE``), and ``--perf`` to append a
+stage-timing / cache-effectiveness report.
 Everything prints to stdout in the same fixed-width format the benches
 write to ``results/``.
 """
@@ -81,6 +84,20 @@ def _print_perf(args: argparse.Namespace, executor: SweepExecutor) -> None:
         print(executor.perf.render())
 
 
+def _apply_engine(args: argparse.Namespace) -> None:
+    """Turn ``--engine`` into the ``REPRO_ENGINE`` environment switch.
+
+    Like ``--verify``, the environment variable is what parallel sweep
+    workers inherit, so the choice covers every simulation in the
+    invocation.
+    """
+    engine = getattr(args, "engine", None)
+    if engine:
+        from repro.engine.compiler import ENGINE_ENV
+
+        os.environ[ENGINE_ENV] = engine
+
+
 def _apply_verify(args: argparse.Namespace) -> None:
     """Turn ``--verify`` into the ``REPRO_VERIFY`` environment switch.
 
@@ -96,6 +113,7 @@ def _apply_verify(args: argparse.Namespace) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> None:
     _apply_verify(args)
+    _apply_engine(args)
     runner = ExperimentRunner(artifacts=_artifacts(args))
     result = runner.run(
         ExperimentConfig(
@@ -124,6 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 def _cmd_table(args: argparse.Namespace) -> None:
     _apply_verify(args)
+    _apply_engine(args)
     executor = _executor(args)
     workloads = _parse_workloads(args.workloads)
     if args.which == "1":
@@ -135,6 +154,7 @@ def _cmd_table(args: argparse.Namespace) -> None:
 
 def _cmd_figure(args: argparse.Namespace) -> None:
     _apply_verify(args)
+    _apply_engine(args)
     executor = _executor(args)
     workloads = _parse_workloads(args.workloads)
     figure_fn = _FIGURES.get(args.which)
@@ -227,6 +247,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import simspeed
+
+    if args.what != "speed":  # pragma: no cover - argparse enforces
+        raise SystemExit(f"unknown bench {args.what!r}")
+    workloads = _parse_workloads(args.workloads)
+    payload = simspeed.bench_speed(
+        workloads=workloads,
+        repeats=args.repeats,
+        table2=not args.no_table2,
+    )
+    print(simspeed.render(payload))
+    if args.output:
+        simspeed.write_results(payload, args.output)
+        print(f"\nwrote {args.output}")
+    if args.check:
+        problems = simspeed.check_payload(payload)
+        if problems:
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print("all speed checks passed")
+    return 0
+
+
 def _cmd_branches(args: argparse.Namespace) -> None:
     from repro.engine import run_program
     from repro.model import ModelParams, SelectionConstraints
@@ -278,6 +323,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="append a stage-timing / cache hit-miss report",
         )
         p.add_argument(
+            "--engine", choices=["compiled", "interp"], default=None,
+            help=(
+                "simulation engine: compiled basic blocks (default) or "
+                "the reference interpreter (sets REPRO_ENGINE)"
+            ),
+        )
+        p.add_argument(
             "--verify", action="store_true",
             help=(
                 "statically verify p-thread invariants after every "
@@ -324,6 +376,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     branch_parser.add_argument("workload", choices=SUITE + ["pharmacy"])
     branch_parser.set_defaults(func=_cmd_branches)
+
+    bench_parser = sub.add_parser(
+        "bench", help="performance benchmarks of the simulators themselves"
+    )
+    bench_parser.add_argument("what", choices=["speed"])
+    bench_parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload subset (default: the full suite)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions per cell, best-of (default 3)",
+    )
+    bench_parser.add_argument(
+        "--no-table2", action="store_true",
+        help="skip the cold end-to-end Table 2 wall-clock measurement",
+    )
+    bench_parser.add_argument(
+        "--output", default=None,
+        help="also write the JSON payload to this path",
+    )
+    bench_parser.add_argument(
+        "--check", action="store_true",
+        help=(
+            "exit non-zero unless the compiled engine meets its speed "
+            "floors (>=2x functional exec geomean, never slower overall)"
+        ),
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     lint_parser = sub.add_parser(
         "lint", help="static lints and p-thread verification reports"

@@ -1,5 +1,14 @@
-"""Functional execution engine: decoding, tracing, sampling."""
+"""Functional execution engine: decoding, compiling, tracing, sampling."""
 
+from repro.engine.compiler import (
+    ENGINE_COMPILED,
+    ENGINE_INTERP,
+    CompiledBlocks,
+    compile_functional,
+    compile_timing,
+    discover_blocks,
+    resolve_engine,
+)
 from repro.engine.decode import DecodedProgram
 from repro.engine.functional import (
     ExecutionLimitExceeded,
@@ -12,13 +21,20 @@ from repro.engine.trace import Trace, TraceRecord
 
 __all__ = [
     "ALWAYS_ON",
+    "CompiledBlocks",
     "CyclicSampler",
     "DecodedProgram",
+    "ENGINE_COMPILED",
+    "ENGINE_INTERP",
     "ExecutionLimitExceeded",
     "FunctionalResult",
     "FunctionalSimulator",
     "Phase",
     "Trace",
     "TraceRecord",
+    "compile_functional",
+    "compile_timing",
+    "discover_blocks",
+    "resolve_engine",
     "run_program",
 ]

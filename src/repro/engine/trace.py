@@ -6,6 +6,14 @@ traces cheap (a few dozen bytes per record instead of a Python object)
 while letting the slicer walk dependence edges with plain integer
 indexing.
 
+Internally the trace is built as a plain list of record tuples —
+appending to a Python list is several times faster than seven numpy
+scalar stores, and the simulators append once per executed instruction
+— and converted to the parallel numpy arrays lazily, the first time a
+column is read (or explicitly via :meth:`Trace.trim`).  The array
+attributes (``trace.pc`` etc.) are properties backed by that
+materialization, so consumers are unaffected by the buffering.
+
 Per-record fields:
 
 * ``pc`` — static PC of the instruction.
@@ -22,7 +30,7 @@ Per-record fields:
 
 from __future__ import annotations
 
-from typing import Iterator, NamedTuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -41,33 +49,38 @@ class TraceRecord(NamedTuple):
 
 
 class Trace:
-    """Growable parallel-array trace.
+    """Growable record-tuple trace with lazy parallel-array views.
 
     Args:
-        capacity: initial capacity in records (grows by doubling).
+        capacity: accepted for API compatibility; the record buffer is
+            a plain list and sizes itself.
     """
 
+    #: Parallel-array field names, in record/serialization order.
+    FIELDS = ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken")
+
+    _DTYPES = {
+        "pc": np.int32,
+        "addr": np.int64,
+        "level": np.int8,
+        "dep1": np.int64,
+        "dep2": np.int64,
+        "memdep": np.int64,
+        "taken": np.int8,
+    }
+
     def __init__(self, capacity: int = 1 << 16) -> None:
-        capacity = max(16, capacity)
-        self.pc = np.empty(capacity, dtype=np.int32)
-        self.addr = np.empty(capacity, dtype=np.int64)
-        self.level = np.empty(capacity, dtype=np.int8)
-        self.dep1 = np.empty(capacity, dtype=np.int64)
-        self.dep2 = np.empty(capacity, dtype=np.int64)
-        self.memdep = np.empty(capacity, dtype=np.int64)
-        self.taken = np.empty(capacity, dtype=np.int8)
-        self.length = 0
+        self._records: Optional[List[Tuple]] = []
+        self._arrays: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def length(self) -> int:
+        if self._records is not None:
+            return len(self._records)
+        return len(self._arrays["pc"])
 
     def __len__(self) -> int:
         return self.length
-
-    def _grow(self) -> None:
-        new_capacity = len(self.pc) * 2
-        for name in ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken"):
-            old = getattr(self, name)
-            grown = np.empty(new_capacity, dtype=old.dtype)
-            grown[: self.length] = old[: self.length]
-            setattr(self, name, grown)
 
     def append(
         self,
@@ -80,37 +93,102 @@ class Trace:
         taken: bool = False,
     ) -> int:
         """Append one record; returns its dynamic index."""
-        i = self.length
-        if i >= len(self.pc):
-            self._grow()
-        self.pc[i] = pc
-        self.addr[i] = addr
-        self.level[i] = level
-        self.dep1[i] = dep1
-        self.dep2[i] = dep2
-        self.memdep[i] = memdep
-        self.taken[i] = taken
-        self.length = i + 1
-        return i
+        records = self._records
+        if records is None:
+            records = self._reopen()
+        if self._arrays is not None:
+            self._arrays = None
+        records.append((pc, addr, level, dep1, dep2, memdep, taken))
+        return len(records) - 1
+
+    def raw_buffer(self) -> List[Tuple]:
+        """The live record-tuple buffer.
+
+        The compiled engine appends ``(pc, addr, level, dep1, dep2,
+        memdep, taken)`` tuples to it directly (skipping the
+        :meth:`append` call per instruction); any previously
+        materialized arrays are invalidated here.
+        """
+        if self._records is None:
+            self._reopen()
+        self._arrays = None
+        return self._records
+
+    def _reopen(self) -> List[Tuple]:
+        """Rebuild the record buffer from materialized arrays."""
+        records = list(
+            zip(*(self._arrays[name].tolist() for name in self.FIELDS))
+        )
+        self._records = records
+        return records
+
+    def _materialize(self) -> Dict[str, np.ndarray]:
+        arrays = self._arrays
+        if arrays is None:
+            records = self._records
+            columns = list(zip(*records)) if records else [()] * len(self.FIELDS)
+            arrays = {
+                name: np.array(columns[i], dtype=self._DTYPES[name])
+                for i, name in enumerate(self.FIELDS)
+            }
+            self._arrays = arrays
+        return arrays
+
+    # -- parallel-array views -------------------------------------------
+
+    @property
+    def pc(self) -> np.ndarray:
+        return self._materialize()["pc"]
+
+    @property
+    def addr(self) -> np.ndarray:
+        return self._materialize()["addr"]
+
+    @property
+    def level(self) -> np.ndarray:
+        return self._materialize()["level"]
+
+    @property
+    def dep1(self) -> np.ndarray:
+        return self._materialize()["dep1"]
+
+    @property
+    def dep2(self) -> np.ndarray:
+        return self._materialize()["dep2"]
+
+    @property
+    def memdep(self) -> np.ndarray:
+        return self._materialize()["memdep"]
+
+    @property
+    def taken(self) -> np.ndarray:
+        return self._materialize()["taken"]
 
     def trim(self) -> None:
-        """Release unused capacity (call once tracing is finished)."""
-        for name in ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken"):
-            setattr(self, name, getattr(self, name)[: self.length].copy())
+        """Materialize the arrays and release the build buffer."""
+        self._materialize()
+        self._records = None
 
     def record(self, i: int) -> TraceRecord:
         """Return record ``i`` as a named tuple."""
         if not 0 <= i < self.length:
             raise IndexError(f"trace index out of range: {i}")
+        if self._records is not None:
+            pc, addr, level, dep1, dep2, memdep, taken = self._records[i]
+        else:
+            arrays = self._arrays
+            pc, addr, level, dep1, dep2, memdep, taken = (
+                arrays[name][i] for name in self.FIELDS
+            )
         return TraceRecord(
             index=i,
-            pc=int(self.pc[i]),
-            addr=int(self.addr[i]),
-            level=int(self.level[i]),
-            dep1=int(self.dep1[i]),
-            dep2=int(self.dep2[i]),
-            memdep=int(self.memdep[i]),
-            taken=bool(self.taken[i]),
+            pc=int(pc),
+            addr=int(addr),
+            level=int(level),
+            dep1=int(dep1),
+            dep2=int(dep2),
+            memdep=int(memdep),
+            taken=bool(taken),
         )
 
     def __iter__(self) -> Iterator[TraceRecord]:
@@ -119,16 +197,11 @@ class Trace:
 
     def static_counts(self, num_static: int) -> np.ndarray:
         """Dynamic execution count of every static PC."""
-        return np.bincount(
-            self.pc[: self.length], minlength=num_static
-        ).astype(np.int64)
+        return np.bincount(self.pc, minlength=num_static).astype(np.int64)
 
     def miss_indices(self, min_level: int) -> np.ndarray:
         """Dynamic indices of loads that missed to ``min_level`` or beyond."""
-        return np.nonzero(self.level[: self.length] >= min_level)[0]
-
-    #: Parallel-array field names, in serialization order.
-    FIELDS = ("pc", "addr", "level", "dep1", "dep2", "memdep", "taken")
+        return np.nonzero(self.level >= min_level)[0]
 
     def to_dict(self) -> dict:
         """Serialize to a JSON-compatible dict.
@@ -141,7 +214,7 @@ class Trace:
 
         payload: dict = {"length": self.length}
         for name in self.FIELDS:
-            arr = getattr(self, name)[: self.length]
+            arr = getattr(self, name)
             arr = np.ascontiguousarray(arr, dtype=arr.dtype.newbyteorder("<"))
             payload[name] = {
                 "dtype": arr.dtype.str,
@@ -154,13 +227,13 @@ class Trace:
         """Rebuild a trace from :meth:`to_dict` output."""
         import base64
 
-        length = int(data["length"])
-        trace = cls(capacity=max(length, 16))
+        trace = cls()
+        arrays: Dict[str, np.ndarray] = {}
         for name in cls.FIELDS:
             field = data[name]
             raw = base64.b64decode(field["data"])
             arr = np.frombuffer(raw, dtype=np.dtype(field["dtype"]))
-            native = getattr(trace, name).dtype
-            setattr(trace, name, arr.astype(native, copy=True))
-        trace.length = length
+            arrays[name] = arr.astype(cls._DTYPES[name], copy=True)
+        trace._arrays = arrays
+        trace._records = None
         return trace

@@ -119,16 +119,22 @@ class PerfCounters:
     ``hits`` counts in-memory (same-process) cache hits, ``disk_hits``
     loads from the persistent artifact cache, and ``misses`` actual
     computations.  ``stage_seconds`` accumulates compute time only, so
-    the report directly shows what caching saved.
+    the report directly shows what caching saved.  ``instructions``
+    counts simulated instructions per stage, so the report can show
+    simulation throughput (MIPS) for the simulator-bound stages.
     """
 
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     hits: Dict[str, int] = field(default_factory=dict)
     disk_hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
+    instructions: Dict[str, int] = field(default_factory=dict)
 
     def add_time(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def add_instructions(self, stage: str, count: int) -> None:
+        self.instructions[stage] = self.instructions.get(stage, 0) + count
 
     def hit(self, kind: str) -> None:
         self.hits[kind] = self.hits.get(kind, 0) + 1
@@ -146,12 +152,19 @@ class PerfCounters:
             hits=dict(self.hits),
             disk_hits=dict(self.disk_hits),
             misses=dict(self.misses),
+            instructions=dict(self.instructions),
         )
 
     def since(self, before: "PerfCounters") -> "PerfCounters":
         """The delta accumulated since ``before`` was snapshotted."""
         delta = PerfCounters()
-        for name in ("stage_seconds", "hits", "disk_hits", "misses"):
+        for name in (
+            "stage_seconds",
+            "hits",
+            "disk_hits",
+            "misses",
+            "instructions",
+        ):
             mine, theirs, out = (
                 getattr(self, name),
                 getattr(before, name),
@@ -167,7 +180,7 @@ class PerfCounters:
         """Accumulate another counter set (e.g. a worker's delta)."""
         for stage, seconds in other.stage_seconds.items():
             self.add_time(stage, seconds)
-        for name in ("hits", "disk_hits", "misses"):
+        for name in ("hits", "disk_hits", "misses", "instructions"):
             mine = getattr(self, name)
             for key, value in getattr(other, name).items():
                 mine[key] = mine.get(key, 0) + value

@@ -200,6 +200,7 @@ class ExperimentRunner:
                 max_instructions=self.max_instructions,
             )
             self.perf.add_time("trace", time.perf_counter() - start)
+            self.perf.add_instructions("trace", result.instructions)
             self._trace_to_disk(workload, result)
         self._traces[key] = result
         return result
@@ -279,6 +280,7 @@ class ExperimentRunner:
         sim = TimingSimulator(workload.program, workload.hierarchy, machine)
         stats = sim.run(mode, max_instructions=self.max_instructions)
         self.perf.add_time(kind, time.perf_counter() - start)
+        self.perf.add_instructions(kind, stats.instructions)
         if self.artifacts is not None:
             self.artifacts.store(kind, key, stats.to_dict())
         return stats
@@ -461,6 +463,9 @@ class ExperimentRunner:
         timings["timing"] = elapsed
         self.perf.miss("timing")
         self.perf.add_time("timing", elapsed)
+        self.perf.add_instructions(
+            "timing", preexec.instructions + preexec.pthread_instructions
+        )
         validation: Dict[str, SimStats] = {}
         if config.validate:
             start = time.perf_counter()

@@ -55,7 +55,9 @@ def render_perf(perf, title: str = "Harness performance") -> str:
 
     One row per pipeline stage / cache kind: compute seconds, then how
     the requests for that artifact were satisfied (computed fresh,
-    in-memory hit, persistent-cache hit).
+    in-memory hit, persistent-cache hit), then simulation throughput
+    (million simulated instructions per compute-second) for stages
+    that record instruction counts.
     """
     stages = sorted(
         set(perf.stage_seconds)
@@ -63,6 +65,12 @@ def render_perf(perf, title: str = "Harness performance") -> str:
         | set(perf.disk_hits)
         | set(perf.misses)
     )
+
+    def mips(instructions, seconds):
+        if not instructions or seconds <= 0:
+            return ""
+        return f"{instructions / seconds / 1e6:.2f}"
+
     rows = [
         [
             stage,
@@ -70,6 +78,10 @@ def render_perf(perf, title: str = "Harness performance") -> str:
             perf.misses.get(stage, 0),
             perf.hits.get(stage, 0),
             perf.disk_hits.get(stage, 0),
+            mips(
+                perf.instructions.get(stage, 0),
+                perf.stage_seconds.get(stage, 0.0),
+            ),
         ]
         for stage in stages
     ]
@@ -80,10 +92,14 @@ def render_perf(perf, title: str = "Harness performance") -> str:
             sum(perf.misses.values()),
             sum(perf.hits.values()),
             sum(perf.disk_hits.values()),
+            mips(
+                sum(perf.instructions.values()),
+                sum(perf.stage_seconds.values()),
+            ),
         ]
     )
     return render_table(
-        ["stage", "compute(s)", "computed", "mem hits", "disk hits"],
+        ["stage", "compute(s)", "computed", "mem hits", "disk hits", "MIPS"],
         rows,
         title=title,
         precision=3,

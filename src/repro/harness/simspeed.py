@@ -1,0 +1,282 @@
+"""Simulation-speed benchmark: engine throughput and wall-clock.
+
+Measures how fast the simulators simulate — million simulated
+instructions per second (MIPS) — for both execution engines (the
+compiled basic-block engine and the reference interpreter), plus the
+end-to-end wall-clock of a cold Table 2 regeneration.  Written to
+``results/BENCH_simspeed.json`` by ``python -m repro bench speed`` so
+engine regressions show up in review.
+
+Throughput is steady-state: each (simulator, engine, config) cell runs
+once to warm the per-program compile cache, then takes the best of
+``repeats`` timed runs.  The functional simulator is measured in three
+configurations because its costs are layered — ``exec`` (no cache
+model, no trace — pure architectural execution, where the compiled
+engine's advantage is largest), ``cached`` (with the functional cache
+hierarchy), and ``traced`` (hierarchy plus dependence-trace
+collection, the configuration the selection pipeline uses).  The
+timing simulator is measured in its BASELINE mode.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.compiler import ENGINE_COMPILED, ENGINE_ENV, ENGINE_INTERP
+from repro.engine.functional import FunctionalSimulator
+from repro.timing.config import BASELINE
+from repro.timing.core import TimingSimulator
+from repro.workloads.suite import SUITE, build
+
+ENGINES = (ENGINE_INTERP, ENGINE_COMPILED)
+
+#: Functional-simulator configurations: name -> (caching, tracing).
+FUNCTIONAL_CONFIGS = {
+    "exec": (False, False),
+    "cached": (True, False),
+    "traced": (True, True),
+}
+
+
+def geomean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _steady_mips(run, repeats: int) -> float:
+    """Best-of-``repeats`` steady-state throughput of ``run()``.
+
+    ``run`` executes one full simulation and returns the number of
+    instructions it simulated.  The warm-up call (compile, allocator
+    warm-up) is not timed.
+    """
+    instructions = run()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        instructions = run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    if best <= 0 or not instructions:
+        return 0.0
+    return instructions / best / 1e6
+
+
+def measure_functional(
+    workload_name: str,
+    engine: str,
+    config: str,
+    repeats: int = 3,
+    max_instructions: int = 50_000_000,
+) -> float:
+    """Steady-state functional-simulation MIPS for one cell."""
+    caching, tracing = FUNCTIONAL_CONFIGS[config]
+    workload = build(workload_name)
+    sim = FunctionalSimulator(
+        workload.program,
+        workload.hierarchy if caching else None,
+        engine=engine,
+    )
+
+    def run() -> int:
+        result = sim.run(
+            max_instructions=max_instructions, collect_trace=tracing
+        )
+        return result.instructions
+
+    mips = _steady_mips(run, repeats)
+    if sim.last_engine != engine:  # compile fallback: label honestly
+        return 0.0
+    return mips
+
+
+def measure_timing(
+    workload_name: str,
+    engine: str,
+    repeats: int = 3,
+    max_instructions: int = 50_000_000,
+) -> float:
+    """Steady-state BASELINE timing-simulation MIPS for one cell."""
+    workload = build(workload_name)
+    sim = TimingSimulator(workload.program, workload.hierarchy, engine=engine)
+
+    def run() -> int:
+        return sim.run(BASELINE, max_instructions=max_instructions).instructions
+
+    mips = _steady_mips(run, repeats)
+    if sim.last_engine != engine:
+        return 0.0
+    return mips
+
+
+def _table2_once(workloads: Sequence[str], engine: str) -> float:
+    """Wall-clock of one cold (cache-less) Table 2 over ``workloads``."""
+    from repro.harness.parallel import SweepExecutor
+    from repro.harness.tables import table2
+
+    previous = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = engine
+    try:
+        executor = SweepExecutor(jobs=1, artifacts=None)
+        start = time.perf_counter()
+        table2(workloads=list(workloads), executor=executor)
+        return time.perf_counter() - start
+    finally:
+        if previous is None:
+            del os.environ[ENGINE_ENV]
+        else:
+            os.environ[ENGINE_ENV] = previous
+
+
+def _table2_seconds(
+    workloads: Sequence[str], rounds: int = 2
+) -> Dict[str, float]:
+    """Best-of-``rounds`` cold Table 2 wall-clock per engine.
+
+    Rounds are interleaved (interp, compiled, interp, compiled, ...)
+    so a load spike on a shared machine hurts both engines instead of
+    whichever one happened to run during it.
+    """
+    best = {engine: float("inf") for engine in ENGINES}
+    for _ in range(rounds):
+        for engine in ENGINES:
+            elapsed = _table2_once(workloads, engine)
+            if elapsed < best[engine]:
+                best[engine] = elapsed
+    return best
+
+
+def bench_speed(
+    workloads: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    max_instructions: int = 50_000_000,
+    table2: bool = True,
+) -> Dict:
+    """Run the full simulation-speed benchmark; returns the payload."""
+    names: List[str] = list(workloads) if workloads else list(SUITE)
+    functional: Dict[str, Dict[str, Dict[str, float]]] = {}
+    functional_geomean: Dict[str, Dict[str, float]] = {}
+    for config in FUNCTIONAL_CONFIGS:
+        functional[config] = {}
+        for engine in ENGINES:
+            functional[config][engine] = {
+                name: measure_functional(
+                    name, engine, config, repeats, max_instructions
+                )
+                for name in names
+            }
+        summary = {
+            engine: geomean(list(functional[config][engine].values()))
+            for engine in ENGINES
+        }
+        interp = summary[ENGINE_INTERP]
+        summary["ratio"] = (
+            summary[ENGINE_COMPILED] / interp if interp else 0.0
+        )
+        functional_geomean[config] = summary
+
+    timing: Dict[str, Dict[str, float]] = {}
+    for engine in ENGINES:
+        timing[engine] = {
+            name: measure_timing(name, engine, repeats, max_instructions)
+            for name in names
+        }
+    timing_geomean = {
+        engine: geomean(list(timing[engine].values())) for engine in ENGINES
+    }
+    interp = timing_geomean[ENGINE_INTERP]
+    timing_geomean["ratio"] = (
+        timing_geomean[ENGINE_COMPILED] / interp if interp else 0.0
+    )
+
+    payload: Dict = {
+        "workloads": names,
+        "repeats": repeats,
+        "max_instructions": max_instructions,
+        "unit": "million simulated instructions per second (steady state)",
+        "functional": functional,
+        "functional_geomean": functional_geomean,
+        "timing_baseline": timing,
+        "timing_baseline_geomean": timing_geomean,
+    }
+    if table2:
+        seconds = _table2_seconds(names)
+        compiled = seconds[ENGINE_COMPILED]
+        payload["table2_cold"] = {
+            "workloads": names,
+            "seconds": seconds,
+            "speedup": (
+                seconds[ENGINE_INTERP] / compiled if compiled else 0.0
+            ),
+        }
+    return payload
+
+
+def check_payload(payload: Dict) -> List[str]:
+    """Regression gates over a benchmark payload; returns violations.
+
+    * compiled functional throughput must be at least 2x the
+      interpreter on the pure-execution configuration (geomean);
+    * the compiled engine must not be slower than the interpreter on
+      any configuration's geomean (functional or timing).
+    """
+    problems: List[str] = []
+    exec_ratio = payload["functional_geomean"]["exec"]["ratio"]
+    if exec_ratio < 2.0:
+        problems.append(
+            f"functional exec speedup {exec_ratio:.2f}x < 2.0x"
+        )
+    for config, summary in payload["functional_geomean"].items():
+        if summary["ratio"] < 1.0:
+            problems.append(
+                f"functional {config}: compiled slower than interpreter "
+                f"({summary['ratio']:.2f}x)"
+            )
+    timing_ratio = payload["timing_baseline_geomean"]["ratio"]
+    if timing_ratio < 1.0:
+        problems.append(
+            f"timing baseline: compiled slower than interpreter "
+            f"({timing_ratio:.2f}x)"
+        )
+    return problems
+
+
+def render(payload: Dict) -> str:
+    """Fixed-width summary of a benchmark payload."""
+    title = "Simulation speed (MIPS, steady state)"
+    lines = [title, "=" * len(title)]
+    for config, summary in payload["functional_geomean"].items():
+        lines.append(
+            f"functional/{config:<7} interp {summary[ENGINE_INTERP]:6.2f}  "
+            f"compiled {summary[ENGINE_COMPILED]:6.2f}  "
+            f"ratio {summary['ratio']:5.2f}x"
+        )
+    summary = payload["timing_baseline_geomean"]
+    lines.append(
+        f"timing/baseline    interp {summary[ENGINE_INTERP]:6.2f}  "
+        f"compiled {summary[ENGINE_COMPILED]:6.2f}  "
+        f"ratio {summary['ratio']:5.2f}x"
+    )
+    table = payload.get("table2_cold")
+    if table:
+        lines.append(
+            f"table2 cold        interp "
+            f"{table['seconds'][ENGINE_INTERP]:6.1f}s  compiled "
+            f"{table['seconds'][ENGINE_COMPILED]:6.1f}s  "
+            f"speedup {table['speedup']:5.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def write_results(payload: Dict, path) -> None:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

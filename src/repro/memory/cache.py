@@ -9,12 +9,20 @@ the timing simulator attaches latencies to those outcomes.
 Replacement is true LRU within a set.  The cache is write-back
 write-allocate; dirty state is tracked so writeback traffic can be
 charged to the bus model.
+
+The tag store is two flat parallel lists (``_tags`` / ``_dirty``) of
+``num_sets * assoc`` slots: set ``s`` occupies ``[s*assoc, (s+1)*assoc)``
+with the MRU way first and empty slots (``None`` tags) packed at the
+tail.  Both simulators hit this structure once or twice per simulated
+instruction, so there is deliberately no per-line object — earlier
+revisions allocated a ``_Line`` dataclass per resident line and the
+allocator dominated the access path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -49,24 +57,22 @@ class CacheConfig:
         return self.size_bytes // (self.line_bytes * self.assoc)
 
 
-@dataclass
-class _Line:
-    """One cache line's tag state."""
-
-    tag: int
-    dirty: bool = False
-
-
 class Cache:
     """Tag-state cache with LRU replacement.
 
-    The per-set structure is an ordered list of :class:`_Line`, most
-    recently used first; lookups are O(associativity), which is small.
+    Per-set state lives in flat parallel lists; lookups scan at most
+    ``assoc`` slots (via C-speed list containment on a transient
+    ``assoc``-long slice) and hits shift the matching way to the MRU
+    position with a slice move, so the access path allocates no
+    per-line objects.
     """
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        self._sets: List[List[_Line]] = [[] for _ in range(config.num_sets)]
+        slots = config.num_sets * config.assoc
+        self._tags: List[Optional[int]] = [None] * slots
+        self._dirty: List[int] = [0] * slots
+        self._assoc = config.assoc
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.num_sets - 1
         self._sets_pow2 = config.num_sets & (config.num_sets - 1) == 0
@@ -88,20 +94,53 @@ class Cache:
     def probe(self, addr: int) -> bool:
         """Check residency without updating LRU state or statistics."""
         set_index, tag = self._index(addr)
-        return any(line.tag == tag for line in self._sets[set_index])
+        base = set_index * self._assoc
+        return tag in self._tags[base : base + self._assoc]
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Access ``addr``; allocate on miss.  Returns hit status.
 
         On a miss the LRU victim is evicted (counted as a writeback if
-        dirty) and the new line allocated MRU.
+        dirty) and the new line allocated MRU.  The touch and fill
+        logic is inlined here (rather than calling :meth:`_touch` /
+        :meth:`_fill`) because this method runs once or twice per
+        simulated instruction; the slow-path entry points share the
+        helpers.
         """
-        hit = self._touch(addr, is_write)
+        line = addr >> self._line_shift
+        if self._sets_pow2:
+            set_index = line & self._set_mask
+        else:
+            set_index = line % self.config.num_sets
+        assoc = self._assoc
+        base = set_index * assoc
+        end = base + assoc
+        tags = self._tags
         self.accesses += 1
-        if not hit:
-            self.misses += 1
-            self._fill(addr, dirty=is_write)
-        return hit
+        ways = tags[base:end]
+        if line in ways:
+            pos = base + ways.index(line)
+            dirty = self._dirty
+            if pos != base:
+                # Move the hit way to MRU, shifting the rest down.
+                d = dirty[pos]
+                tags[base + 1 : pos + 1] = tags[base:pos]
+                dirty[base + 1 : pos + 1] = dirty[base:pos]
+                tags[base] = line
+                dirty[base] = d
+            if is_write:
+                dirty[base] = 1
+            return True
+        self.misses += 1
+        last = end - 1
+        dirty = self._dirty
+        if tags[last] is not None and dirty[last]:
+            self.writebacks += 1
+        tags[base + 1 : end] = tags[base:last]
+        dirty[base + 1 : end] = dirty[base:last]
+        tags[base] = line
+        dirty[base] = 1 if is_write else 0
+        return False
 
     def fill(self, addr: int, *, dirty: bool = False) -> None:
         """Install the line containing ``addr`` (prefetch fill path)."""
@@ -111,34 +150,48 @@ class Cache:
     def invalidate(self, addr: int) -> bool:
         """Drop the line containing ``addr``; returns True if present."""
         set_index, tag = self._index(addr)
-        lines = self._sets[set_index]
-        for pos, line in enumerate(lines):
-            if line.tag == tag:
-                del lines[pos]
+        base = set_index * self._assoc
+        end = base + self._assoc
+        tags = self._tags
+        dirty = self._dirty
+        for pos in range(base, end):
+            if tags[pos] == tag:
+                tags[pos:end] = tags[pos + 1 : end] + [None]
+                dirty[pos:end] = dirty[pos + 1 : end] + [0]
                 return True
         return False
 
     def _touch(self, addr: int, is_write: bool) -> bool:
         set_index, tag = self._index(addr)
-        lines = self._sets[set_index]
-        for pos, line in enumerate(lines):
-            if line.tag == tag:
-                if pos:
-                    del lines[pos]
-                    lines.insert(0, line)
+        base = set_index * self._assoc
+        tags = self._tags
+        for pos in range(base, base + self._assoc):
+            if tags[pos] == tag:
+                if pos != base:
+                    # Move the hit way to MRU, shifting the rest down.
+                    dirty = self._dirty
+                    d = dirty[pos]
+                    tags[base + 1 : pos + 1] = tags[base:pos]
+                    dirty[base + 1 : pos + 1] = dirty[base:pos]
+                    tags[base] = tag
+                    dirty[base] = d
                 if is_write:
-                    line.dirty = True
+                    self._dirty[base] = 1
                 return True
         return False
 
     def _fill(self, addr: int, *, dirty: bool) -> None:
         set_index, tag = self._index(addr)
-        lines = self._sets[set_index]
-        if len(lines) >= self.config.assoc:
-            victim = lines.pop()
-            if victim.dirty:
-                self.writebacks += 1
-        lines.insert(0, _Line(tag=tag, dirty=dirty))
+        base = set_index * self._assoc
+        last = base + self._assoc - 1
+        tags = self._tags
+        dirt = self._dirty
+        if tags[last] is not None and dirt[last]:
+            self.writebacks += 1
+        tags[base + 1 : last + 1] = tags[base:last]
+        dirt[base + 1 : last + 1] = dirt[base:last]
+        tags[base] = tag
+        dirt[base] = 1 if dirty else 0
 
     @property
     def hits(self) -> int:
@@ -157,4 +210,4 @@ class Cache:
 
     def resident_lines(self) -> int:
         """Number of lines currently resident (for tests)."""
-        return sum(len(lines) for lines in self._sets)
+        return sum(1 for tag in self._tags if tag is not None)

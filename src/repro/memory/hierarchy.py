@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.memory.bus import Bus
 from repro.memory.cache import Cache, CacheConfig
@@ -121,11 +121,20 @@ class FunctionalHierarchy:
 
     def access(self, addr: int, is_write: bool = False) -> MemoryLevel:
         """Access ``addr``; returns the level that satisfied it."""
+        return MemoryLevel(self.access_fast(addr, is_write))
+
+    def access_fast(self, addr: int, is_write: bool = False) -> int:
+        """:meth:`access` returning a plain int level (1/2/3).
+
+        The simulators call this once per dynamic load/store; returning
+        the raw :class:`MemoryLevel` value skips an enum construction
+        per access (the enum API stays for everything that wants it).
+        """
         if self.l1.access(addr, is_write):
-            return MemoryLevel.L1
+            return 1
         if self.l2.access(addr, is_write):
-            return MemoryLevel.L2
-        return MemoryLevel.MEM
+            return 2
+        return 3
 
     def warm(self, addr: int) -> None:
         """Install ``addr`` in both levels without counting statistics."""
@@ -206,6 +215,9 @@ class TimedHierarchy:
         self.partial_covered = 0
         self.partial_covered_cycles = 0
         self.evicted_prefetches = 0
+        #: Coverage classification of the most recent ``mt_access_fast``
+        #: (``None`` if the access touched no p-thread-fetched line).
+        self.last_coverage: Optional[CoverageKind] = None
 
     # ------------------------------------------------------------------
     # main thread
@@ -213,9 +225,23 @@ class TimedHierarchy:
 
     def mt_access(self, addr: int, now: int, is_write: bool = False) -> AccessOutcome:
         """Timed main-thread access at cycle ``now``."""
+        level, complete = self.mt_access_fast(addr, now, is_write)
+        return AccessOutcome(MemoryLevel(level), complete, self.last_coverage)
+
+    def mt_access_fast(
+        self, addr: int, now: int, is_write: bool = False
+    ) -> Tuple[int, int]:
+        """:meth:`mt_access` without the :class:`AccessOutcome` wrapper.
+
+        Returns ``(level, complete)`` as plain ints — the simulators
+        issue millions of these per run and the dataclass allocation
+        per access dominated the memory path.  Coverage classification
+        is published on :attr:`last_coverage` (and the coverage
+        counters update exactly as before).
+        """
         self.mt_accesses += 1
+        self.last_coverage = None
         line2 = self.l2.line_addr(addr)
-        coverage: Optional[CoverageKind] = None
         stamp = self._pt_lines.pop(line2, None)
 
         if self.l1.access(addr, is_write):
@@ -223,7 +249,7 @@ class TimedHierarchy:
             pending = self._line_ready.get(line2)
             if pending is not None and pending > complete:
                 complete = pending
-            return AccessOutcome(MemoryLevel.L1, complete)
+            return 1, complete
 
         if self.l2.access(addr, is_write):
             # L2 hit.  If a p-thread fetched this line, the unassisted
@@ -234,25 +260,25 @@ class TimedHierarchy:
                 complete = pending
             if stamp is not None:
                 if stamp.ready_time <= now:
-                    coverage = CoverageKind.FULL
+                    self.last_coverage = CoverageKind.FULL
                     self.full_covered += 1
                 else:
-                    coverage = CoverageKind.PARTIAL
+                    self.last_coverage = CoverageKind.PARTIAL
                     self.partial_covered += 1
                     saved = max(0, now - stamp.request_time)
                     self.partial_covered_cycles += saved
-                    complete = max(complete, stamp.ready_time)
-            return AccessOutcome(MemoryLevel.L2, complete, coverage)
+                    if stamp.ready_time > complete:
+                        complete = stamp.ready_time
+            return 2, complete
 
         # L2 miss.
         self.mt_l2_misses += 1
         if stamp is not None:
             # A p-thread prefetched the line but it was evicted before
             # the main thread got to it: an early (wasted) prefetch.
-            coverage = CoverageKind.EVICTED
+            self.last_coverage = CoverageKind.EVICTED
             self.evicted_prefetches += 1
-        complete = self._fetch_line(line2, now)
-        return AccessOutcome(MemoryLevel.MEM, complete, coverage)
+        return 3, self._fetch_line(line2, now)
 
     # ------------------------------------------------------------------
     # p-threads
@@ -264,6 +290,11 @@ class TimedHierarchy:
         P-thread loads read the L1 if the line happens to be resident
         (without refreshing LRU state) but fill only the L2.
         """
+        level, complete = self.pt_access_fast(addr, now)
+        return AccessOutcome(MemoryLevel(level), complete)
+
+    def pt_access_fast(self, addr: int, now: int) -> Tuple[int, int]:
+        """:meth:`pt_access` returning a plain ``(level, complete)``."""
         self.pt_accesses += 1
         line2 = self.l2.line_addr(addr)
         pending = self._line_ready.get(line2)
@@ -271,18 +302,17 @@ class TimedHierarchy:
             complete = now + self.config.l1.hit_latency
             if pending is not None and pending > complete:
                 complete = pending
-            return AccessOutcome(MemoryLevel.L1, complete)
+            return 1, complete
         if self.l2.access(addr, is_write=False):
             complete = now + self._l2_hit_latency(now)
             if pending is not None and pending > complete:
                 complete = pending
-            return AccessOutcome(MemoryLevel.L2, complete)
+            return 2, complete
         self.pt_l2_misses += 1
-        line2 = self.l2.line_addr(addr)
         complete = self._fetch_line(line2, now)
         # Stamp the line so the main thread's first touch classifies it.
         self._pt_lines[line2] = _PrefetchStamp(request_time=now, ready_time=complete)
-        return AccessOutcome(MemoryLevel.MEM, complete)
+        return 3, complete
 
     def phantom_access(self, addr: int, now: int) -> AccessOutcome:
         """Latency of a load that must not disturb any state.
@@ -292,11 +322,30 @@ class TimedHierarchy:
         pre-execution effect)": timing reflects residency, but no fill,
         LRU update, MSHR, bus, or timestamp activity occurs.
         """
+        level, complete = self.phantom_access_fast(addr, now)
+        return AccessOutcome(MemoryLevel(level), complete)
+
+    def phantom_access_fast(self, addr: int, now: int) -> Tuple[int, int]:
+        """:meth:`phantom_access` returning a plain ``(level, complete)``.
+
+        Like the real access paths, a hit on a line whose fill is still
+        in flight cannot complete before the fill does, so the pending
+        :attr:`_line_ready` time clamps the completion.  Reading that
+        timestamp disturbs nothing, which is all the phantom contract
+        requires.
+        """
         if self.l1.probe(addr):
-            return AccessOutcome(MemoryLevel.L1, now + self.config.l1.hit_latency)
-        if self.l2.probe(addr):
-            return AccessOutcome(MemoryLevel.L2, now + self.config.l2.hit_latency)
-        return AccessOutcome(MemoryLevel.MEM, now + self.config.mem_latency)
+            level = 1
+            complete = now + self.config.l1.hit_latency
+        elif self.l2.probe(addr):
+            level = 2
+            complete = now + self.config.l2.hit_latency
+        else:
+            return 3, now + self.config.mem_latency
+        pending = self._line_ready.get(self.l2.line_addr(addr))
+        if pending is not None and pending > complete:
+            complete = pending
+        return level, complete
 
     # ------------------------------------------------------------------
     # internals

@@ -41,6 +41,12 @@ class MainMemory:
             raise MemoryAlignmentError(f"unaligned store: {addr:#x}")
         self._words[addr] = value
 
+    def raw_words(self) -> Dict[int, int]:
+        """The live backing dict, for the compiled engine's inlined
+        aligned-access fast path (misaligned addresses still go through
+        :meth:`load`/:meth:`store` for the alignment error)."""
+        return self._words
+
     def snapshot(self) -> Dict[int, int]:
         """A copy of all initialized words (for checkpoint/restore)."""
         return dict(self._words)

@@ -25,12 +25,28 @@ order) while computing a cycle-level timing model alongside:
   completion, exactly like a physical-register handoff.  Body stores
   forward through a private store buffer and never commit.  Body loads
   prefetch into the L2 only.
+
+Like the functional simulator, two engines produce bit-identical
+:class:`~repro.timing.stats.SimStats` (see DESIGN.md): the resumable
+interpreter in :meth:`TimingSimulator._interp`, and compiled
+basic-block functions from :mod:`repro.engine.compiler` driven by
+:meth:`TimingSimulator._run_compiled`.  The dispatcher leans on the
+interpreter for block tails, computed-jump entries, and the
+instructions around schedule region boundaries (which are dynamic
+instruction counts, not PCs, so compiled blocks cannot observe them).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.compiler import (
+    ENGINE_COMPILED,
+    ENGINE_INTERP,
+    CompiledBlocks,
+    compile_timing,
+    resolve_engine,
+)
 from repro.engine.decode import (
     DecodedProgram,
     K_ALU_I,
@@ -47,7 +63,7 @@ from repro.frontend.branch_predictor import HybridPredictor
 from repro.isa.opcodes import Format
 from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS
-from repro.memory.hierarchy import HierarchyConfig, MemoryLevel, TimedHierarchy
+from repro.memory.hierarchy import HierarchyConfig, TimedHierarchy
 from repro.memory.main_memory import MainMemory
 from repro.pthreads.pthread import StaticPThread
 from repro.timing.config import BASELINE, MachineConfig, SimMode
@@ -55,6 +71,28 @@ from repro.timing.stats import SimStats
 
 #: Activation schedule: (start_instruction, end_instruction, p-threads).
 Schedule = List[Tuple[int, int, List[StaticPThread]]]
+
+
+def _store_queue_put(
+    queue: Dict[int, Tuple[int, int]],
+    addr: int,
+    entry: Tuple[int, int],
+    limit: int = 64,
+) -> None:
+    """Insert ``addr`` into the bounded store queue at MRU position.
+
+    Python dicts preserve insertion order, so eviction pops the oldest
+    key; re-storing an existing address must delete-and-reinsert to
+    refresh its recency, otherwise a hot address keeps its stale
+    insertion slot and is evicted while colder entries survive.  The
+    compiled engine inlines these exact operations per store; the
+    differential equivalence suite pins the two together.
+    """
+    if addr in queue:
+        del queue[addr]
+    queue[addr] = entry
+    if len(queue) > limit:
+        del queue[next(iter(queue))]
 
 
 class _DecodedBody:
@@ -125,6 +163,49 @@ class _DecodedBody:
         self.last_burst_offset = self.bursts[-1][0] if self.bursts else 0
 
 
+class _TimingState:
+    """Mutable run state shared between interpreter and dispatcher.
+
+    The compiled dispatcher and the resumable interpreter hand
+    execution back and forth (tails, computed-jump entries, region
+    boundaries); everything either side reads or writes lives here so
+    the hand-off is exact.
+    """
+
+    __slots__ = (
+        "pc",
+        "executed",
+        "fetch_cycle",
+        "cap_used",
+        "last_retire",
+        "halted",
+        "region_index",
+        "region_end",
+        "triggers",
+        "trig",
+        "regs",
+        "reg_ready",
+        "retire_ring",
+        "stolen",
+        "store_queue",
+        "contexts",
+        "branch_hints",
+        "branch_counts",
+        "hinted_pcs",
+        "launching",
+        "mode",
+        "stats",
+        "predictor",
+        "prefetcher",
+        "hierarchy",
+        "memory",
+        "mem_load",
+        "mem_store",
+        "miss_exposure",
+        "tallies",
+    )
+
+
 class TimingSimulator:
     """Execution-driven timing model of the SMT pre-execution machine.
 
@@ -136,6 +217,12 @@ class TimingSimulator:
             exclusive with ``schedule``).
         schedule: region-based p-thread activation for granularity
             experiments.
+        engine: ``"compiled"`` / ``"interp"``; ``None`` defers to the
+            ``REPRO_ENGINE`` environment variable (default compiled).
+
+    Attributes:
+        last_engine: the engine the most recent :meth:`run` actually
+            used (``"interp"`` also when the compiled engine fell back).
     """
 
     def __init__(
@@ -145,6 +232,7 @@ class TimingSimulator:
         machine: Optional[MachineConfig] = None,
         pthreads: Optional[Sequence[StaticPThread]] = None,
         schedule: Optional[Schedule] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if pthreads is not None and schedule is not None:
             raise ValueError("pass either pthreads or schedule, not both")
@@ -164,6 +252,21 @@ class TimingSimulator:
                     self._decoded_bodies[id(pthread)] = _DecodedBody(
                         pthread, self.machine
                     )
+        self.engine = resolve_engine(engine)
+        self.last_engine: Optional[str] = None
+        self._compiled: Dict[tuple, Optional[CompiledBlocks]] = {}
+        # Static over all regions: the PCs where launches can ever
+        # trigger (compiled blocks embed the launch check there) and
+        # the branch PCs that hints can ever target.
+        self._trigger_union = frozenset(
+            pt.trigger_pc for _, _, pts in self.schedule for pt in pts
+        )
+        self._hinted_pcs = frozenset(
+            pt.body.instructions[-1].pc
+            for _, _, pts in self.schedule
+            for pt in pts
+            if pt.body.targets_branch
+        )
 
     # ------------------------------------------------------------------
 
@@ -175,12 +278,146 @@ class TimingSimulator:
             triggers.setdefault(pthread.trigger_pc, []).append(pthread)
         return triggers
 
+    def _compiled_variant(
+        self, launching: bool, stealing: bool, prefetching: bool
+    ) -> Optional[CompiledBlocks]:
+        """The compiled variant for a mode shape, memoized per instance."""
+        key = (launching, stealing, prefetching)
+        if key not in self._compiled:
+            machine = self.machine
+            self._compiled[key] = compile_timing(
+                self.decoded,
+                window=machine.window,
+                bw_seq=machine.bw_seq,
+                dispatch_latency=machine.dispatch_latency,
+                mispredict_penalty=machine.mispredict_penalty,
+                forward_latency=machine.store_forward_latency,
+                launching=launching,
+                stealing=stealing,
+                prefetching=prefetching,
+                trigger_pcs=self._trigger_union,
+                hinted_pcs=self._hinted_pcs,
+            )
+        return self._compiled[key]
+
     def run(
         self,
         mode: SimMode = BASELINE,
         max_instructions: int = 50_000_000,
     ) -> SimStats:
         """Simulate to ``halt`` (or an instruction cap); returns stats."""
+        machine = self.machine
+        memory = MainMemory(self.program.data)
+        hierarchy = TimedHierarchy(
+            self.hierarchy_config, perfect_l2=mode.perfect_l2
+        )
+        stats = SimStats(mode=mode.name)
+        prefetcher = None
+        if machine.stride_prefetch:
+            from repro.memory.prefetcher import StridePrefetcher
+
+            prefetcher = StridePrefetcher(degree=machine.stride_degree)
+
+        st = _TimingState()
+        st.pc = 0
+        st.executed = 0
+        st.fetch_cycle = 0
+        st.cap_used = 0
+        st.last_retire = 0
+        st.halted = False
+        st.regs = [0] * NUM_REGS
+        st.reg_ready = [0] * NUM_REGS
+        st.retire_ring = [0] * machine.window
+        st.stolen = {}
+        st.store_queue = {}
+        st.contexts = [0] * machine.pthread_contexts
+        # Branch hints from branch-pre-execution p-threads, tagged with
+        # the dynamic branch instance they resolve:
+        # branch pc -> {instance number -> (outcome ready cycle, outcome)}.
+        st.branch_hints = {}
+        # Dynamic instance counters for hinted branch PCs.
+        st.branch_counts = {}
+        st.hinted_pcs = self._hinted_pcs
+        st.launching = mode.launch and any(pts for _, _, pts in self.schedule)
+        st.mode = mode
+        st.stats = stats
+        st.predictor = HybridPredictor()
+        st.prefetcher = prefetcher
+        st.hierarchy = hierarchy
+        st.memory = memory
+        st.mem_load = memory.load
+        st.mem_store = memory.store
+        st.miss_exposure = stats.miss_exposure
+        st.region_index = 0
+        region = self.schedule[0]
+        st.triggers = self._triggers_for(region) if st.launching else {}
+        st.region_end = region[1]
+        st.trig = [st.triggers]
+        # Rare-event tallies for the compiled engine (the interpreter
+        # writes `stats` directly): [l1 misses, mispredictions,
+        # mispredicts covered by hints].
+        st.tallies = [0, 0, 0]
+
+        compiled = None
+        if self.engine == ENGINE_COMPILED:
+            compiled = self._compiled_variant(
+                launching=st.launching,
+                stealing=st.launching and mode.steal,
+                prefetching=prefetcher is not None,
+            )
+        if compiled is not None:
+            self.last_engine = ENGINE_COMPILED
+            self._run_compiled(compiled, st, max_instructions)
+        else:
+            self.last_engine = ENGINE_INTERP
+            self._interp(st, max_instructions)
+
+        stats.l1_misses += st.tallies[0]
+        stats.mispredictions += st.tallies[1]
+        stats.mispredicts_covered += st.tallies[2]
+        stats.instructions = st.executed
+        stats.cycles = max(st.last_retire, st.fetch_cycle)
+        stats.misses_fully_covered = hierarchy.full_covered
+        stats.misses_partially_covered = hierarchy.partial_covered
+        stats.partial_covered_cycles = hierarchy.partial_covered_cycles
+        stats.prefetches_evicted = hierarchy.evicted_prefetches
+        stats.prefetches_unclaimed = hierarchy.unclaimed_prefetches()
+        stats.pthread_l2_misses = hierarchy.pt_l2_misses
+        # Misses the unassisted program would have taken: actual misses
+        # plus misses converted to hits by coverage.
+        stats.l2_misses = (
+            hierarchy.mt_l2_misses
+            + hierarchy.full_covered
+            + hierarchy.partial_covered
+        )
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _advance_region(self, st: _TimingState, executed: int) -> None:
+        """Advance (or refresh) the active schedule region."""
+        schedule = self.schedule
+        region_index = st.region_index
+        while (
+            region_index + 1 < len(schedule)
+            and executed >= schedule[region_index][1]
+        ):
+            region_index += 1
+        region = schedule[region_index]
+        st.region_index = region_index
+        st.triggers = self._triggers_for(region)
+        st.region_end = region[1]
+        st.trig[0] = st.triggers
+
+    def _interp(
+        self,
+        st: _TimingState,
+        limit: int,
+        stop_pcs: Optional[dict] = None,
+    ) -> None:
+        """Interpret from ``st`` until halt, ``limit`` instructions, or
+        a PC in ``stop_pcs`` (checked before executing — callers enter
+        with ``st.pc`` outside the set)."""
         machine = self.machine
         decoded = self.decoded
         kind = decoded.kind
@@ -193,18 +430,12 @@ class TimingSimulator:
         branch_arr = decoded.branch
         lat_arr = decoded.latency
 
-        memory = MainMemory(self.program.data)
-        hierarchy = TimedHierarchy(
-            self.hierarchy_config, perfect_l2=mode.perfect_l2
-        )
-        predictor = HybridPredictor()
-        stats = SimStats(mode=mode.name)
-        prefetcher = None
-        if machine.stride_prefetch:
-            from repro.memory.prefetcher import StridePrefetcher
-
-            prefetcher = StridePrefetcher(degree=machine.stride_degree)
-        miss_exposure = stats.miss_exposure
+        mode = st.mode
+        stats = st.stats
+        hierarchy = st.hierarchy
+        predictor = st.predictor
+        prefetcher = st.prefetcher
+        miss_exposure = st.miss_exposure
 
         bw = machine.bw_seq
         dispatch_latency = machine.dispatch_latency
@@ -212,53 +443,50 @@ class TimingSimulator:
         mispredict_penalty = machine.mispredict_penalty
         forward_latency = machine.store_forward_latency
 
-        regs = [0] * NUM_REGS
-        reg_ready = [0] * NUM_REGS
-        retire_ring = [0] * window
-        last_retire = 0
-        fetch_cycle = 0
-        cap_used = 0
-        stolen: Dict[int, int] = {}
-        # Store queue: address -> (data ready time, value); bounded.
-        store_queue: Dict[int, Tuple[int, int]] = {}
-        store_queue_limit = 64
+        regs = st.regs
+        reg_ready = st.reg_ready
+        retire_ring = st.retire_ring
+        stolen = st.stolen
+        stolen_get = stolen.get
+        store_queue = st.store_queue
+        contexts = st.contexts
+        branch_hints = st.branch_hints
+        branch_counts = st.branch_counts
+        hinted_pcs = st.hinted_pcs
+        launching = st.launching
+        trig = st.trig
+        schedule = self.schedule
 
-        contexts: List[int] = [0] * machine.pthread_contexts
-        # Branch hints from branch-pre-execution p-threads, tagged with
-        # the dynamic branch instance they resolve:
-        # branch pc -> {instance number -> (outcome ready cycle, outcome)}.
-        branch_hints: Dict[int, Dict[int, Tuple[int, int]]] = {}
-        # Dynamic instance counters for hinted branch PCs.
-        branch_counts: Dict[int, int] = {}
-        hinted_pcs = frozenset(
-            pt.body.instructions[-1].pc
-            for _, _, pts in self.schedule
-            for pt in pts
-            if pt.body.targets_branch
-        )
-        launching = mode.launch and any(pts for _, _, pts in self.schedule)
-        region_index = 0
-        region = self.schedule[0]
-        triggers = self._triggers_for(region) if launching else {}
-        region_end = region[1]
+        mem_load = st.mem_load
+        mem_store = st.mem_store
+        mt_access = hierarchy.mt_access_fast
+        pt_access = hierarchy.pt_access_fast
+        predict = predictor.predict_and_update
+        predict_indirect = predictor.predict_indirect
 
-        mem_load = memory.load
-        mem_store = memory.store
-        mt_access = hierarchy.mt_access
+        pc = st.pc
+        executed = st.executed
+        fetch_cycle = st.fetch_cycle
+        cap_used = st.cap_used
+        last_retire = st.last_retire
+        region_index = st.region_index
+        region_end = st.region_end
+        triggers = st.triggers
+        halted = False
 
-        pc = 0
-        executed = 0
-
-        while executed < max_instructions:
+        while executed < limit:
+            if stop_pcs is not None and pc in stop_pcs:
+                break
             if launching and executed >= region_end:
                 while (
-                    region_index + 1 < len(self.schedule)
-                    and executed >= self.schedule[region_index][1]
+                    region_index + 1 < len(schedule)
+                    and executed >= schedule[region_index][1]
                 ):
                     region_index += 1
-                region = self.schedule[region_index]
+                region = schedule[region_index]
                 triggers = self._triggers_for(region)
                 region_end = region[1]
+                trig[0] = triggers
 
             k = kind[pc]
             executed += 1
@@ -269,7 +497,7 @@ class TimingSimulator:
             if window_stall > fetch_cycle:
                 fetch_cycle = window_stall
                 cap_used = 0
-            while cap_used >= bw - stolen.get(fetch_cycle, 0):
+            while cap_used >= bw - stolen_get(fetch_cycle, 0):
                 fetch_cycle += 1
                 cap_used = 0
             f = fetch_cycle
@@ -320,11 +548,10 @@ class TimingSimulator:
                         max(issue, data_ready) + forward_latency
                     )
                 else:
-                    outcome = mt_access(addr, issue)
-                    if outcome.level != MemoryLevel.L1:
+                    level, complete = mt_access(addr, issue)
+                    if level != 1:
                         stats.l1_misses += 1
-                    complete = outcome.complete
-                    if outcome.level == MemoryLevel.MEM:
+                    if level == 3:
                         exposure = miss_exposure.get(pc)
                         if exposure is None:
                             exposure = [0, 0]
@@ -335,7 +562,7 @@ class TimingSimulator:
                             exposure[1] += exposed
                     if prefetcher is not None:
                         for target in prefetcher.observe(pc, addr):
-                            hierarchy.pt_access(target, issue)
+                            pt_access(target, issue)
                 rd = rd_arr[pc]
                 if rd:
                     regs[rd] = value
@@ -350,10 +577,12 @@ class TimingSimulator:
                 if disp > ready:
                     ready = disp
                 complete = ready + 1
-                mt_access(addr, complete, is_write=True)
-                store_queue[addr] = (max(complete, reg_ready[rs2]), regs[rs2])
-                if len(store_queue) > store_queue_limit:
-                    store_queue.pop(next(iter(store_queue)))
+                mt_access(addr, complete, True)
+                _store_queue_put(
+                    store_queue,
+                    addr,
+                    (max(complete, reg_ready[rs2]), regs[rs2]),
+                )
             elif k == K_BRANCH:
                 stats.branches += 1
                 rs1 = rs1_arr[pc]
@@ -369,7 +598,7 @@ class TimingSimulator:
                 target = target_arr[pc]
                 if taken:
                     next_pc = target
-                correct = predictor.predict_and_update(pc, taken, target)
+                correct = predict(pc, taken, target)
                 hint = None
                 if pc in hinted_pcs:
                     instance = branch_counts.get(pc, 0)
@@ -410,7 +639,7 @@ class TimingSimulator:
                     ready = disp
                 complete = ready + 1
                 next_pc = regs[rs1]
-                correct = predictor.predict_indirect(pc, next_pc)
+                correct = predict_indirect(pc, next_pc)
                 if not correct:
                     stats.mispredictions += 1
                     fetch_cycle = complete + mispredict_penalty
@@ -419,6 +648,7 @@ class TimingSimulator:
                 complete = disp
                 last_retire = max(last_retire, complete)
                 retire_ring[ring_slot] = last_retire
+                halted = True
                 break
             else:  # K_NOP
                 complete = disp
@@ -450,32 +680,152 @@ class TimingSimulator:
                             branch_hints,
                             branch_counts,
                         )
-            # Periodically drop stale stolen-slot entries.
-            if not executed & 0xFFFF:
-                stolen = {
-                    cycle: count
-                    for cycle, count in stolen.items()
-                    if cycle >= fetch_cycle
-                }
+            # Periodically drop stale stolen-slot entries (in place:
+            # the dict is closed over by compiled blocks and p-thread
+            # launches, so it must never be rebound).
+            if not executed & 0xFFFF and stolen:
+                for cycle in [c for c in stolen if c < fetch_cycle]:
+                    del stolen[cycle]
 
             pc = next_pc
 
-        stats.instructions = executed
-        stats.cycles = max(last_retire, fetch_cycle)
-        stats.misses_fully_covered = hierarchy.full_covered
-        stats.misses_partially_covered = hierarchy.partial_covered
-        stats.partial_covered_cycles = hierarchy.partial_covered_cycles
-        stats.prefetches_evicted = hierarchy.evicted_prefetches
-        stats.prefetches_unclaimed = hierarchy.unclaimed_prefetches()
-        stats.pthread_l2_misses = hierarchy.pt_l2_misses
-        # Misses the unassisted program would have taken: actual misses
-        # plus misses converted to hits by coverage.
-        stats.l2_misses = (
-            hierarchy.mt_l2_misses
-            + hierarchy.full_covered
-            + hierarchy.partial_covered
-        )
-        return stats
+        st.pc = pc
+        st.executed = executed
+        st.fetch_cycle = fetch_cycle
+        st.cap_used = cap_used
+        st.last_retire = last_retire
+        st.region_index = region_index
+        st.region_end = region_end
+        st.triggers = triggers
+        if halted:
+            st.halted = True
+
+    def _run_compiled(
+        self, compiled: CompiledBlocks, st: _TimingState, limit: int
+    ) -> None:
+        """Drive the compiled block table; interpret the gaps.
+
+        Compiled blocks cannot observe dynamic-instruction milestones
+        mid-block, so the dispatcher only runs a block when at least
+        ``max_len`` instructions remain before the next schedule region
+        boundary and before the run limit; the interpreter carries
+        execution across those edges (and across computed-jump entries
+        that land mid-block).  Static per-block load/store/branch
+        counts fold in from block execution counts at the end.
+        """
+        hierarchy = st.hierarchy
+        mode = st.mode
+        contexts = st.contexts
+        stolen = st.stolen
+        regs = st.regs
+        rdy = st.reg_ready
+        launch_one = self._launch
+
+        def launch(waiting: List[StaticPThread], disp: int) -> None:
+            for pthread in waiting:
+                launch_one(
+                    pthread,
+                    disp,
+                    mode,
+                    contexts,
+                    stolen,
+                    regs,
+                    rdy,
+                    st.mem_load,
+                    hierarchy,
+                    st.stats,
+                    st.branch_hints,
+                    st.branch_counts,
+                )
+
+        ctx = {
+            "ring": st.retire_ring,
+            "store_queue": st.store_queue,
+            "predict": st.predictor.predict_and_update,
+            "predict_ind": st.predictor.predict_indirect,
+            "mt_access": hierarchy.mt_access_fast,
+            "pt_access": hierarchy.pt_access_fast,
+            "mem_load": st.mem_load,
+            "mem_store": st.mem_store,
+            "words": st.memory.raw_words(),
+            "miss_exposure": st.miss_exposure,
+            "tallies": st.tallies,
+            "stolen": stolen,
+            "trig": st.trig,
+            "launch": launch,
+            "branch_hints": st.branch_hints,
+            "branch_counts": st.branch_counts,
+            "observe": (
+                st.prefetcher.observe if st.prefetcher is not None else None
+            ),
+        }
+        table = compiled.bind(ctx)
+        table_get = table.get
+        counts = [0] * compiled.num_blocks
+        max_len = compiled.max_len
+        launching = st.launching
+        last_region = len(self.schedule) - 1
+        cleanup_mark = 0
+
+        while not st.halted and st.executed < limit:
+            executed = st.executed
+            if (
+                launching
+                and executed >= st.region_end
+                and st.region_index < last_region
+            ):
+                self._advance_region(st, executed)
+            cap = limit
+            if (
+                launching
+                and st.region_index < last_region
+                and st.region_end < cap
+            ):
+                cap = st.region_end
+            if executed > cap - max_len:
+                # Approaching the region boundary or the run limit:
+                # single-step across it with the interpreter.
+                self._interp(st, cap)
+                continue
+            entry = table_get(st.pc)
+            if entry is None:
+                # Mid-block entry (computed jump): interpret until the
+                # next block leader.
+                self._interp(st, cap, stop_pcs=table)
+                continue
+            fn, length, index = entry
+            (
+                st.pc,
+                st.executed,
+                st.fetch_cycle,
+                st.cap_used,
+                st.last_retire,
+            ) = fn(
+                executed, st.fetch_cycle, st.cap_used, st.last_retire, regs, rdy
+            )
+            counts[index] += 1
+            if st.pc == -1:
+                st.halted = True
+                break
+            # Periodic stale stolen-slot cleanup, mirroring the
+            # interpreter's (cleanup timing is unobservable: fetch
+            # cycles are monotonic).
+            if st.executed - cleanup_mark >= 0x10000:
+                cleanup_mark = st.executed
+                if stolen:
+                    fc = st.fetch_cycle
+                    for cycle in [c for c in stolen if c < fc]:
+                        del stolen[cycle]
+
+        stats = st.stats
+        block_loads = compiled.loads
+        block_stores = compiled.stores
+        block_branches = compiled.branches
+        for index, count in enumerate(counts):
+            if count:
+                stats.loads += count * block_loads[index]
+                stats.stores += count * block_stores[index]
+                stats.branches += count * block_branches[index]
 
     # ------------------------------------------------------------------
 
@@ -541,6 +891,8 @@ class TimingSimulator:
         imm_arr = body.imm
         alu_arr = body.alu
         lat_arr = body.latency
+        pt_access = hierarchy.pt_access_fast
+        phantom_access = hierarchy.phantom_access_fast
         burst_index = 0
         bursts = body.bursts
 
@@ -579,10 +931,9 @@ class TimingSimulator:
                 else:
                     value = mem_load(addr)
                     if mode.prefetch:
-                        outcome = hierarchy.pt_access(addr, issue)
+                        complete = pt_access(addr, issue)[1]
                     else:
-                        outcome = hierarchy.phantom_access(addr, issue)
-                    complete = outcome.complete
+                        complete = phantom_access(addr, issue)[1]
             elif k == K_BRANCH:
                 # Terminal branch: compute the outcome and post it as a
                 # fetch hint tagged with the dynamic instance it

@@ -1,0 +1,110 @@
+"""Differential equivalence: compiled engine vs. reference interpreter.
+
+The compiled basic-block engine is an optimization, not a second
+model: for every bundled workload it must reproduce the interpreter's
+results bit for bit — the packed functional trace, every statistic,
+every timing-simulator counter, in every simulation mode.  These tests
+are the contract that keeps the two engines pinned together.
+"""
+
+import pytest
+
+from repro.engine.compiler import ENGINE_COMPILED, ENGINE_INTERP
+from repro.engine.functional import FunctionalSimulator
+from repro.model.params import ModelParams
+from repro.selection.program_selector import select_pthreads
+from repro.timing.config import (
+    BASELINE,
+    OVERHEAD_SEQUENCE,
+    PERFECT_L2,
+    PRE_EXECUTION,
+)
+from repro.timing.core import TimingSimulator
+from repro.workloads.suite import SUITE, build
+
+ALL_WORKLOADS = list(SUITE) + ["pharmacy"]
+
+#: p-thread-bearing modes exercised per workload: with launches
+#: (steal + execute + prefetch), steal-only overhead accounting, and
+#: the perfect-L2 bound (no launches, different hierarchy behavior).
+MODES = (BASELINE, PRE_EXECUTION, OVERHEAD_SEQUENCE, PERFECT_L2)
+
+_CACHE = {}
+
+
+def _workload(name):
+    if name not in _CACHE:
+        _CACHE[name] = build(name)
+    return _CACHE[name]
+
+
+def _selected_pthreads(name):
+    """Real selected p-threads for ``name`` (memoized per session)."""
+    key = ("pthreads", name)
+    if key not in _CACHE:
+        workload = _workload(name)
+        result = FunctionalSimulator(
+            workload.program, workload.hierarchy, engine=ENGINE_INTERP
+        ).run()
+        params = ModelParams(
+            bw_seq=8,
+            unassisted_ipc=1.0,
+            mem_latency=workload.hierarchy.mem_latency,
+            load_latency=workload.hierarchy.l1.hit_latency,
+        )
+        selection = select_pthreads(workload.program, result.trace, params)
+        _CACHE[key] = selection.pthreads
+    return _CACHE[key]
+
+
+def _diff(a, b):
+    return {k: (a[k], b[k]) for k in a if a[k] != b[k]}
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_functional_results_bit_identical(name):
+    workload = _workload(name)
+    results = {}
+    for engine in (ENGINE_INTERP, ENGINE_COMPILED):
+        sim = FunctionalSimulator(
+            workload.program, workload.hierarchy, engine=engine
+        )
+        results[engine] = sim.run().to_dict()
+        assert sim.last_engine == engine
+    assert results[ENGINE_INTERP] == results[ENGINE_COMPILED], _diff(
+        results[ENGINE_INTERP], results[ENGINE_COMPILED]
+    )
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_functional_no_trace_bit_identical(name):
+    workload = _workload(name)
+    results = {}
+    for engine in (ENGINE_INTERP, ENGINE_COMPILED):
+        sim = FunctionalSimulator(
+            workload.program, workload.hierarchy, engine=engine
+        )
+        results[engine] = sim.run(collect_trace=False).to_dict()
+        assert sim.last_engine == engine
+    assert results[ENGINE_INTERP] == results[ENGINE_COMPILED]
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_timing_stats_bit_identical_across_modes(name):
+    workload = _workload(name)
+    pthreads = _selected_pthreads(name)
+    for mode in MODES:
+        stats = {}
+        for engine in (ENGINE_INTERP, ENGINE_COMPILED):
+            sim = TimingSimulator(
+                workload.program,
+                workload.hierarchy,
+                pthreads=pthreads,
+                engine=engine,
+            )
+            stats[engine] = sim.run(mode).to_dict()
+            assert sim.last_engine == engine
+        assert stats[ENGINE_INTERP] == stats[ENGINE_COMPILED], (
+            mode.name,
+            _diff(stats[ENGINE_INTERP], stats[ENGINE_COMPILED]),
+        )

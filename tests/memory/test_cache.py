@@ -129,3 +129,85 @@ class TestAccess:
         assert cache.line_addr(31) == 0
         assert cache.line_addr(32) == 32
         assert cache.line_addr(100) == 96
+
+
+class TestGoldenSequences:
+    """Scripted access sequences with exact expected outcomes.
+
+    These pin the flat-array LRU implementation (and the compiled
+    engine's inlined copy of its hit path) to known-good behaviour:
+    any change to replacement order, dirty tracking, or writeback
+    accounting shows up as an exact mismatch here.
+    """
+
+    def test_lru_golden_sequence(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        # (address, is_write) -> expected hit
+        script = [
+            (0, False, False),     # miss, installs A
+            (32, False, False),    # miss, installs B (A is LRU)
+            (0, False, True),      # hit A, A becomes MRU
+            (64, False, False),    # miss, evicts B (LRU)
+            (32, False, False),    # miss again: B was evicted
+            (0, False, False),     # miss: A was evicted by B reload
+            (0, False, True),      # hit
+        ]
+        for addr, is_write, expected_hit in script:
+            assert cache.access(addr, is_write) is expected_hit, addr
+        assert cache.accesses == len(script)
+        assert cache.misses == 5
+        assert cache.hits == 2
+
+    def test_writeback_golden_sequence(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        cache.access(0, is_write=True)    # A dirty
+        cache.access(32, is_write=False)  # B clean
+        cache.access(64, is_write=False)  # evicts A (LRU, dirty) -> wb
+        assert cache.writebacks == 1
+        cache.access(96, is_write=False)  # evicts B (clean) -> no wb
+        assert cache.writebacks == 1
+        cache.access(64, is_write=True)   # hit, re-dirty
+        cache.access(128, is_write=False) # evicts 96 (clean)
+        assert cache.writebacks == 1
+        cache.access(160, is_write=False) # evicts 64 (dirty) -> wb
+        assert cache.writebacks == 2
+
+    def test_write_miss_installs_dirty(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        cache.access(0, is_write=True)   # write miss: allocate dirty
+        cache.access(32, is_write=False)
+        cache.access(64, is_write=False)  # evicts line 0: dirty
+        assert cache.writebacks == 1
+
+    def test_invalidate_golden_sequence(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        cache.access(0)
+        cache.access(32)
+        assert cache.resident_lines() == 2
+        assert cache.invalidate(0) is True
+        assert cache.invalidate(0) is False  # already gone
+        assert cache.resident_lines() == 1
+        assert cache.probe(32)
+        assert not cache.probe(0)
+        # The freed way is reused without evicting the survivor.
+        cache.access(64)
+        assert cache.probe(32)
+        assert cache.resident_lines() == 2
+
+    def test_invalidated_dirty_line_never_writes_back(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        cache.access(0, is_write=True)
+        assert cache.invalidate(0) is True
+        cache.access(32)
+        cache.access(64)
+        cache.access(96)  # pressure: evictions, but line 0 is gone
+        assert cache.writebacks == 0
+
+    def test_mru_move_preserves_dirty_bits(self):
+        cache = small_cache(assoc=2, sets=1, line=32)
+        cache.access(0, is_write=True)   # A dirty
+        cache.access(32, is_write=False) # B clean, A now LRU
+        cache.access(0, is_write=False)  # hit A: moves to MRU, stays dirty
+        cache.access(32, is_write=False) # hit B: B MRU, A LRU
+        cache.access(64, is_write=False) # evicts A: must write back
+        assert cache.writebacks == 1

@@ -4,7 +4,7 @@ import pytest
 
 from repro.isa import DataImage, assemble
 from repro.timing.config import BASELINE, MachineConfig, PERFECT_L2
-from repro.timing.core import TimingSimulator
+from repro.timing.core import TimingSimulator, _store_queue_put
 
 
 def simulate(source, hierarchy, machine=None, data=None, mode=BASELINE):
@@ -173,3 +173,37 @@ class TestBranches:
     def test_stats_describe(self, tiny_hierarchy):
         stats = simulate("nop\nhalt", tiny_hierarchy)
         assert "IPC" in stats.describe()
+
+
+class TestStoreQueue:
+    """Regression tests for the bounded store queue's recency order."""
+
+    def test_restore_moves_entry_to_mru(self):
+        queue = {}
+        for addr in range(8):
+            _store_queue_put(queue, addr, (addr, addr), limit=8)
+        # Re-storing address 0 must refresh its recency...
+        _store_queue_put(queue, 0, (99, 99), limit=8)
+        assert list(queue) == [1, 2, 3, 4, 5, 6, 7, 0]
+        assert queue[0] == (99, 99)
+        # ...so the next eviction removes the oldest entry (1), not 0.
+        _store_queue_put(queue, 100, (0, 0), limit=8)
+        assert 0 in queue
+        assert 1 not in queue
+
+    def test_eviction_drops_oldest(self):
+        queue = {}
+        for addr in range(4):
+            _store_queue_put(queue, addr, (addr, addr), limit=3)
+        assert list(queue) == [1, 2, 3]
+
+    def test_hot_address_survives_under_pressure(self):
+        queue = {}
+        for round_index in range(64):
+            _store_queue_put(queue, 0xBEEF, (round_index, 1), limit=4)
+            _store_queue_put(queue, round_index, (0, 0), limit=4)
+        # The hot address was re-stored every round, so it must still
+        # be forwardable; before the move-to-MRU fix it kept its
+        # original insertion slot and was evicted on round 3.
+        assert 0xBEEF in queue
+        assert queue[0xBEEF][0] == 63
