@@ -12,6 +12,8 @@ Commands mirror the paper's artifacts::
     python -m repro lint all --strict     # static lints, all workloads
     python -m repro lint mcf --pthreads   # ... plus p-thread verification
     python -m repro bench speed           # engine throughput benchmark
+    python -m repro fuzz --seeds 25       # differential fuzzing campaign
+    python -m repro fuzz --replay corpus/fuzz-000042-stride.json
 
 Sweeps accept ``--workloads`` to restrict the suite, ``--jobs/-j`` to
 fan cells out over worker processes (default ``REPRO_JOBS``, then the
@@ -29,6 +31,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.harness.artifacts import ArtifactCache
@@ -272,6 +275,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz_shapes() -> Sequence[str]:
+    from repro.fuzz.generator import SHAPES
+
+    return SHAPES
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import load_reproducer, run_campaign, run_oracle
+
+    if args.replay:
+        rc = 0
+        for path in args.replay:
+            workload = load_reproducer(path)
+            report = run_oracle(
+                workload, max_instructions=args.max_instructions
+            )
+            print(report.render())
+            if not report.ok:
+                rc = 1
+        return rc
+
+    summary = run_campaign(
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        shape=args.shape,
+        budget_seconds=args.budget,
+        do_shrink=args.shrink,
+        corpus_dir=args.corpus,
+        max_instructions=args.max_instructions,
+        log=print,
+    )
+    print(
+        f"\n{summary['seeds_run']} seed(s): {summary['ok']} ok, "
+        f"{summary['failed']} failed "
+        f"({summary['elapsed_seconds']:.1f}s)"
+    )
+    if args.report:
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.report}")
+    return 1 if summary["failed"] else 0
+
+
 def _cmd_branches(args: argparse.Namespace) -> None:
     from repro.engine import run_program
     from repro.model import ModelParams, SelectionConstraints
@@ -405,6 +452,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help=(
+            "differential fuzzing: generate seeded workloads and "
+            "cross-check engines, simulators, verifier, and model"
+        ),
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of seeds to run (default 25)",
+    )
+    fuzz_parser.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the range (default 0)",
+    )
+    fuzz_parser.add_argument(
+        "--shape", choices=list(_fuzz_shapes()), default=None,
+        help="fix every workload to one generator shape",
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; stops between seeds once exceeded",
+    )
+    fuzz_parser.add_argument(
+        "--shrink", action="store_true",
+        help="minimize failures and write reproducers to the corpus",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", default="corpus",
+        help="reproducer directory (default corpus/)",
+    )
+    fuzz_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the JSON campaign summary to this path",
+    )
+    fuzz_parser.add_argument(
+        "--max-instructions", type=int, default=400_000,
+        help="per-simulation instruction cap (default 400000)",
+    )
+    fuzz_parser.add_argument(
+        "--replay", nargs="+", default=None, metavar="FILE",
+        help="replay corpus reproducer file(s) instead of generating",
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     lint_parser = sub.add_parser(
         "lint", help="static lints and p-thread verification reports"

@@ -1,0 +1,342 @@
+"""Seeded random workload generator.
+
+Emits small, valid, guaranteed-terminating assembly programs with the
+memory-behaviour shapes the paper's benchmarks exhibit — serial pointer
+chasing (mcf), strided array walks (bzip2), loop nests with recurrent
+indirect loads (gcc/vortex hash probing), and branchy value-dependent
+control (crafty/parser) — composed from the same building blocks the
+hand-written suite uses: the :mod:`repro.isa` assembler and the
+:class:`~repro.workloads.common.DataBuilder` data-image helpers.
+
+Determinism is the load-bearing property: every random choice flows
+from one ``random.Random(seed)``, so a seed fully reproduces the
+program, its data image, and its cache hierarchy.  The generator emits
+labels on their own source lines so the shrinker can delete any
+instruction line without orphaning a branch target.
+
+Termination is structural, not probabilistic: every loop is bounded by
+a counter compared against a constant, or walks a finite null-terminated
+chain built acyclic by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.workloads.common import DataBuilder
+
+#: Shape templates the generator composes.  ``mixed`` concatenates
+#: several of the single-kernel shapes into one program.
+SHAPES: Tuple[str, ...] = (
+    "pointer_chase",
+    "stride",
+    "loop_nest",
+    "branchy",
+    "mixed",
+)
+
+#: Hierarchies fuzz workloads run against: scaled so the generated
+#: working sets (hundreds to thousands of words) actually miss.  The
+#: paper geometry's line sizes / associativities / latencies are kept.
+FUZZ_HIERARCHIES: Tuple[HierarchyConfig, ...] = (
+    HierarchyConfig(
+        l1=CacheConfig(name="L1D", size_bytes=1024, line_bytes=32, assoc=2, hit_latency=2),
+        l2=CacheConfig(name="L2", size_bytes=4096, line_bytes=64, assoc=4, hit_latency=6),
+        mem_latency=70,
+        mshr_entries=8,
+    ),
+    HierarchyConfig(
+        l1=CacheConfig(name="L1D", size_bytes=2048, line_bytes=32, assoc=2, hit_latency=2),
+        l2=CacheConfig(name="L2", size_bytes=8192, line_bytes=64, assoc=4, hit_latency=6),
+        mem_latency=110,
+        mshr_entries=16,
+    ),
+)
+
+#: Registers the generator may allocate (zero/ra/sp/gp are reserved).
+_REG_POOL: Tuple[str, ...] = (
+    "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "u0", "u1", "u2", "u3", "u4", "u5", "u6", "u7",
+)
+
+#: Commutative accumulation opcodes templates pick from.
+_ACC_OPS: Tuple[str, ...] = ("add", "xor", "or", "sub")
+
+
+@dataclass(frozen=True)
+class FuzzWorkload:
+    """One generated workload: program, data, hierarchy, provenance."""
+
+    name: str
+    seed: int
+    shape: str
+    source: str
+    program: Program
+    hierarchy: HierarchyConfig
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class _Regs:
+    """Hands a kernel its private slice of the register pool."""
+
+    def __init__(self, names: List[str]) -> None:
+        self._names = list(names)
+
+    def take(self) -> str:
+        if not self._names:
+            raise RuntimeError("kernel template exhausted its registers")
+        return self._names.pop()
+
+
+def _kernel_pointer_chase(
+    rng: random.Random, data: DataBuilder, regs: _Regs, prefix: str
+) -> Tuple[List[str], Dict[str, Any]]:
+    """Serial pointer chasing over randomized null-terminated chains."""
+    n_chains = rng.randint(2, 8)
+    chain_length = rng.randint(4, 40)
+    node_words = rng.choice((2, 4))
+    arena_words = n_chains * chain_length * node_words
+    arena_base = data.region(f"{prefix}arena", arena_words)
+    slot_ids = list(range(n_chains * chain_length))
+    rng.shuffle(slot_ids)
+    heads: List[int] = []
+    node_index = 0
+    for _ in range(n_chains):
+        chain = [
+            arena_base + slot_ids[node_index + k] * node_words * 4
+            for k in range(chain_length)
+        ]
+        node_index += chain_length
+        heads.append(chain[0])
+        for position, addr in enumerate(chain):
+            next_ptr = chain[position + 1] if position + 1 < chain_length else 0
+            payload = [next_ptr] + [
+                rng.randint(1, 1000) for _ in range(node_words - 1)
+            ]
+            data.image.store_words(addr, payload)
+    heads_base = data.words(f"{prefix}heads", heads)
+
+    i, n, hp, node, v, acc = (regs.take() for _ in range(6))
+    value_offset = 4 * rng.randint(1, node_words - 1)
+    op = rng.choice(_ACC_OPS)
+    lines = [
+        f"    addi {i}, zero, 0",
+        f"    addi {n}, zero, {n_chains}",
+        f"    addi {hp}, zero, {heads_base}",
+        f"    addi {acc}, zero, 0",
+        f"{prefix}outer:",
+        f"    bge  {i}, {n}, {prefix}done",
+        f"    lw   {node}, 0({hp})",
+        f"{prefix}walk:",
+        f"    beq  {node}, zero, {prefix}next",
+        f"    lw   {v}, {value_offset}({node})",
+        f"    {op}  {acc}, {acc}, {v}",
+        f"    lw   {node}, 0({node})",
+        f"    j    {prefix}walk",
+        f"{prefix}next:",
+        f"    addi {hp}, {hp}, 4",
+        f"    addi {i}, {i}, 1",
+        f"    j    {prefix}outer",
+        f"{prefix}done:",
+    ]
+    meta = dict(
+        n_chains=n_chains,
+        chain_length=chain_length,
+        node_words=node_words,
+    )
+    return lines, meta
+
+
+def _kernel_stride(
+    rng: random.Random, data: DataBuilder, regs: _Regs, prefix: str
+) -> Tuple[List[str], Dict[str, Any]]:
+    """Strided array walk with a running reduction."""
+    count = rng.randint(48, 1536)
+    stride_words = rng.choice((1, 1, 2, 3, 4, 7, 9))
+    array_base = data.random_words(
+        f"{prefix}array", count * stride_words, 1, 1 << 20
+    )
+    i, n, ptr, v, acc = (regs.take() for _ in range(5))
+    op = rng.choice(_ACC_OPS)
+    lines = [
+        f"    addi {i}, zero, 0",
+        f"    addi {n}, zero, {count}",
+        f"    addi {ptr}, zero, {array_base}",
+        f"    addi {acc}, zero, 0",
+        f"{prefix}loop:",
+        f"    bge  {i}, {n}, {prefix}done",
+        f"    lw   {v}, 0({ptr})",
+        f"    {op}  {acc}, {acc}, {v}",
+        f"    addi {ptr}, {ptr}, {4 * stride_words}",
+        f"    addi {i}, {i}, 1",
+        f"    j    {prefix}loop",
+        f"{prefix}done:",
+    ]
+    # Optionally write the reduction back periodically so stores and
+    # store-load dependences appear in some generated programs.
+    if rng.random() < 0.5:
+        out_base = data.words(f"{prefix}out", [0])
+        out = regs.take()
+        lines[4:4] = [f"    addi {out}, zero, {out_base}"]
+        lines.insert(-3, f"    sw   {acc}, 0({out})")
+    meta = dict(count=count, stride_words=stride_words)
+    return lines, meta
+
+
+def _kernel_loop_nest(
+    rng: random.Random, data: DataBuilder, regs: _Regs, prefix: str
+) -> Tuple[List[str], Dict[str, Any]]:
+    """Loop nest probing a table through a loaded index (recurrent load).
+
+    The inner loop loads an index, masks it into a power-of-two table,
+    and loads the table entry — a two-level indirection whose second
+    address depends on the first load's value, like hash probing.
+    """
+    rows = rng.randint(3, 16)
+    cols = rng.randint(8, 48)
+    table_words = rng.choice((256, 512, 1024, 2048))
+    idx_base = data.random_words(
+        f"{prefix}idx", rows * cols, 0, (1 << 16) - 1
+    )
+    table_base = data.random_words(f"{prefix}table", table_words, 1, 5000)
+    mask = table_words - 1
+
+    r, nr, c, nc, ip, idx, addr, v, acc = (regs.take() for _ in range(9))
+    op = rng.choice(_ACC_OPS)
+    lines = [
+        f"    addi {r}, zero, 0",
+        f"    addi {nr}, zero, {rows}",
+        f"    addi {ip}, zero, {idx_base}",
+        f"    addi {acc}, zero, 0",
+        f"{prefix}row:",
+        f"    bge  {r}, {nr}, {prefix}done",
+        f"    addi {c}, zero, 0",
+        f"    addi {nc}, zero, {cols}",
+        f"{prefix}col:",
+        f"    bge  {c}, {nc}, {prefix}rownext",
+        f"    lw   {idx}, 0({ip})",
+        f"    andi {idx}, {idx}, {mask}",
+        f"    slli {addr}, {idx}, 2",
+        f"    addi {addr}, {addr}, {table_base}",
+        f"    lw   {v}, 0({addr})",
+        f"    {op}  {acc}, {acc}, {v}",
+        f"    addi {ip}, {ip}, 4",
+        f"    addi {c}, {c}, 1",
+        f"    j    {prefix}col",
+        f"{prefix}rownext:",
+        f"    addi {r}, {r}, 1",
+        f"    j    {prefix}row",
+        f"{prefix}done:",
+    ]
+    meta = dict(rows=rows, cols=cols, table_words=table_words)
+    return lines, meta
+
+
+def _kernel_branchy(
+    rng: random.Random, data: DataBuilder, regs: _Regs, prefix: str
+) -> Tuple[List[str], Dict[str, Any]]:
+    """Value-dependent two-way branching over a random word array."""
+    count = rng.randint(64, 768)
+    array_base = data.random_words(f"{prefix}data", count, 0, 1 << 16)
+    i, n, ptr, v, b, acc, alt = (regs.take() for _ in range(7))
+    # Either branch on parity (data-random, predictor-hostile) or on a
+    # threshold (biased, predictor-friendly).
+    if rng.random() < 0.5:
+        test = [f"    andi {b}, {v}, 1", f"    beq  {b}, zero, {prefix}even"]
+        kind = "parity"
+    else:
+        threshold = rng.randint(1 << 12, 3 << 14)
+        test = [
+            f"    slti {b}, {v}, {threshold}",
+            f"    beq  {b}, zero, {prefix}even",
+        ]
+        kind = "threshold"
+    lines = [
+        f"    addi {i}, zero, 0",
+        f"    addi {n}, zero, {count}",
+        f"    addi {ptr}, zero, {array_base}",
+        f"    addi {acc}, zero, 0",
+        f"    addi {alt}, zero, 0",
+        f"{prefix}loop:",
+        f"    bge  {i}, {n}, {prefix}done",
+        f"    lw   {v}, 0({ptr})",
+        *test,
+        f"    add  {acc}, {acc}, {v}",
+        f"    j    {prefix}join",
+        f"{prefix}even:",
+        f"    addi {alt}, {alt}, 1",
+        f"    xor  {acc}, {acc}, {v}",
+        f"{prefix}join:",
+        f"    addi {ptr}, {ptr}, 4",
+        f"    addi {i}, {i}, 1",
+        f"    j    {prefix}loop",
+        f"{prefix}done:",
+    ]
+    meta = dict(count=count, branch=kind)
+    return lines, meta
+
+
+_KERNELS = {
+    "pointer_chase": _kernel_pointer_chase,
+    "stride": _kernel_stride,
+    "loop_nest": _kernel_loop_nest,
+    "branchy": _kernel_branchy,
+}
+
+
+def generate(seed: int, shape: Optional[str] = None) -> FuzzWorkload:
+    """Generate one workload, fully determined by ``seed`` (and shape).
+
+    Args:
+        seed: RNG seed; the same seed always produces the same source,
+            data image, and hierarchy.
+        shape: one of :data:`SHAPES`; ``None`` lets the seed choose.
+    """
+    rng = random.Random(seed)
+    chosen = shape if shape is not None else rng.choice(SHAPES)
+    if chosen not in SHAPES:
+        raise ValueError(f"unknown shape {chosen!r}; known: {list(SHAPES)}")
+
+    if chosen == "mixed":
+        kernel_names = rng.sample(sorted(_KERNELS), rng.randint(2, 3))
+    else:
+        kernel_names = [chosen]
+
+    pool = list(_REG_POOL)
+    rng.shuffle(pool)
+    data = DataBuilder(seed=rng.randrange(1 << 30))
+    hierarchy = rng.choice(FUZZ_HIERARCHIES)
+
+    lines: List[str] = []
+    kernel_meta: List[Dict[str, Any]] = []
+    per_kernel = len(pool) // max(len(kernel_names), 1)
+    for index, kernel_name in enumerate(kernel_names):
+        regs = _Regs(pool[index * per_kernel : (index + 1) * per_kernel])
+        kernel_lines, meta = _KERNELS[kernel_name](
+            rng, data, regs, prefix=f"k{index}_"
+        )
+        lines.extend(kernel_lines)
+        meta["kernel"] = kernel_name
+        kernel_meta.append(meta)
+    lines.append("    halt")
+
+    name = f"fuzz-{seed:06d}-{chosen}"
+    source = "\n".join(lines) + "\n"
+    program = assemble(source, data=data.image, name=name)
+    return FuzzWorkload(
+        name=name,
+        seed=seed,
+        shape=chosen,
+        source=source,
+        program=program,
+        hierarchy=hierarchy,
+        metadata={"kernels": kernel_meta},
+    )

@@ -1,0 +1,556 @@
+"""The differential oracle: end-to-end cross-checks for one workload.
+
+Runs a (generated or hand-written) workload through the full pipeline
+and applies five check families, each named by a stable identifier so
+shrinking can match "the same failure" across candidate reductions:
+
+``engine_equivalence``
+    The compiled basic-block engine and the reference interpreter must
+    be bit-identical: the packed functional trace and every statistic,
+    and the timing simulator's stats in baseline and pre-execution
+    modes.
+
+``functional_vs_timing``
+    The two independent execution models must commit the same
+    architectural state: identical dynamic instruction/load/store/
+    branch counts, identical final registers and memory, in baseline
+    *and* pre-execution mode (pre-execution is purely speculative — it
+    must never change architectural results), plus identical L2 miss
+    counts for the unassisted run (same cache model, same stream).
+
+``pthread_verify``
+    Every selected p-thread must pass the static PT001–PT006
+    invariant verifier (the ``REPRO_VERIFY`` checks) with no
+    error-severity findings.
+
+``model_invariants``
+    Slice-tree structure (parent ``DCpt-cm`` = sum of children plus
+    terminations) and the advantage model's arithmetic
+    (``ADVagg = LTagg − OHagg``, ``LTagg = DCpt-cm·LT``,
+    ``OHagg = DCtrig·OH``, ``OH = SIZEpt·charge``) recomputed against
+    :mod:`repro.model.advantage`, and the aggregate prediction's
+    consistency with its per-p-thread parts.
+
+``memory_sanity``
+    Cache/MSHR accounting sanity on both simulators: the program
+    halts, per-level load counts add up, L2 misses never exceed L1
+    misses, coverage classifications never exceed the miss count, IPC
+    respects the sequencing-bandwidth bound, and p-thread counters are
+    zero when no p-threads run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.report import Severity
+from repro.analysis.verifier import verify_selection
+from repro.engine.compiler import ENGINE_COMPILED, ENGINE_INTERP
+from repro.engine.functional import FunctionalResult, FunctionalSimulator
+from repro.fuzz.generator import FuzzWorkload
+from repro.model.params import ModelParams, SelectionConstraints
+from repro.selection.program_selector import ProgramSelection, select_pthreads
+from repro.timing.config import BASELINE, PRE_EXECUTION, MachineConfig
+from repro.timing.core import TimingSimulator
+from repro.timing.stats import SimStats
+
+#: The five check families, in the order they run.
+CHECK_FAMILIES: Tuple[str, ...] = (
+    "engine_equivalence",
+    "functional_vs_timing",
+    "pthread_verify",
+    "model_invariants",
+    "memory_sanity",
+)
+
+_ENGINES = (ENGINE_INTERP, ENGINE_COMPILED)
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One oracle finding: a named check within a family, with detail."""
+
+    family: str
+    check: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.family}/{self.check}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "check": self.check,
+            "message": self.message,
+        }
+
+
+@dataclass
+class OracleReport:
+    """Everything one oracle run over one workload produced."""
+
+    name: str
+    seed: int
+    shape: str
+    families_run: List[str] = field(default_factory=list)
+    failures: List[CheckFailure] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def failed_checks(self) -> Set[Tuple[str, str]]:
+        """The (family, check) identities of every failure."""
+        return {(f.family, f.check) for f in self.failures}
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "shape": self.shape,
+            "ok": self.ok,
+            "families_run": list(self.families_run),
+            "failures": [f.to_dict() for f in self.failures],
+            "stats": dict(self.stats),
+        }
+
+    def render(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.failures)} failure(s)"
+        lines = [f"{self.name}: {verdict}"]
+        lines.extend("  " + f.render() for f in self.failures)
+        return "\n".join(lines)
+
+
+class _Checker:
+    """Accumulates failures for one family at a time."""
+
+    def __init__(self, report: OracleReport) -> None:
+        self.report = report
+        self.family = ""
+
+    def start(self, family: str) -> None:
+        self.family = family
+        self.report.families_run.append(family)
+
+    def fail(self, check: str, message: str) -> None:
+        self.report.failures.append(
+            CheckFailure(self.family, check, message)
+        )
+
+    def expect(self, condition: bool, check: str, message: str) -> None:
+        if not condition:
+            self.fail(check, message)
+
+    def expect_eq(self, a, b, check: str, label: str) -> None:
+        if a != b:
+            self.fail(check, f"{label}: {a!r} != {b!r}")
+
+    def expect_close(self, a: float, b: float, check: str, label: str) -> None:
+        if not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9):
+            self.fail(check, f"{label}: {a!r} !~ {b!r}")
+
+
+def _dict_diff(a: dict, b: dict) -> str:
+    """Compact rendering of the keys on which two dicts disagree."""
+    keys = [k for k in a if a.get(k) != b.get(k)]
+    keys += [k for k in b if k not in a]
+    parts = []
+    for key in keys[:4]:
+        av, bv = a.get(key), b.get(key)
+        av = repr(av)[:60]
+        bv = repr(bv)[:60]
+        parts.append(f"{key}: {av} != {bv}")
+    if len(keys) > 4:
+        parts.append(f"... {len(keys) - 4} more key(s)")
+    return "; ".join(parts) or "(dicts equal?)"
+
+
+def _memory_words(memory) -> Dict[int, int]:
+    """Non-zero committed memory words, for state comparisons."""
+    return {
+        addr: value
+        for addr, value in memory.snapshot().items()
+        if value != 0
+    }
+
+
+@dataclass
+class _TimingRun:
+    stats: SimStats
+    registers: List[int]
+    memory_words: Dict[int, int]
+
+
+def _run_timing(
+    workload: FuzzWorkload,
+    mode,
+    engine: str,
+    pthreads,
+    machine: MachineConfig,
+    max_instructions: int,
+    checker: _Checker,
+    label: str,
+) -> _TimingRun:
+    sim = TimingSimulator(
+        workload.program,
+        workload.hierarchy,
+        machine=machine,
+        pthreads=pthreads,
+        engine=engine,
+    )
+    stats = sim.run(mode, max_instructions=max_instructions)
+    if sim.last_engine != engine:
+        checker.fail(
+            "engine_availability",
+            f"{label}: requested {engine}, ran {sim.last_engine}",
+        )
+    return _TimingRun(
+        stats=stats,
+        registers=list(sim.last_registers),
+        memory_words=_memory_words(sim.last_memory),
+    )
+
+
+def run_oracle(
+    workload: FuzzWorkload,
+    max_instructions: int = 400_000,
+    machine: Optional[MachineConfig] = None,
+) -> OracleReport:
+    """Run every check family over one workload.
+
+    Deterministic: the same workload (same seed) always yields the
+    same verdicts.  All five families run even when an early family
+    fails, so a report shows the full blast radius of a bug.
+    """
+    machine = machine or MachineConfig()
+    report = OracleReport(
+        name=workload.name, seed=workload.seed, shape=workload.shape
+    )
+    check = _Checker(report)
+    program, hierarchy = workload.program, workload.hierarchy
+
+    # ---- family 1: engine equivalence --------------------------------
+    check.start("engine_equivalence")
+    functional: Dict[str, FunctionalResult] = {}
+    for engine in _ENGINES:
+        sim = FunctionalSimulator(program, hierarchy, engine=engine)
+        functional[engine] = sim.run(max_instructions=max_instructions)
+        check.expect(
+            sim.last_engine == engine,
+            "engine_availability",
+            f"functional: requested {engine}, ran {sim.last_engine}",
+        )
+    func = functional[ENGINE_INTERP]
+    func_dicts = {e: functional[e].to_dict() for e in _ENGINES}
+    check.expect(
+        func_dicts[ENGINE_INTERP] == func_dicts[ENGINE_COMPILED],
+        "functional",
+        _dict_diff(func_dicts[ENGINE_INTERP], func_dicts[ENGINE_COMPILED]),
+    )
+
+    base: Dict[str, _TimingRun] = {}
+    for engine in _ENGINES:
+        base[engine] = _run_timing(
+            workload, BASELINE, engine, None, machine, max_instructions,
+            check, "timing baseline",
+        )
+    check.expect(
+        base[ENGINE_INTERP].stats.to_dict()
+        == base[ENGINE_COMPILED].stats.to_dict(),
+        "timing_baseline",
+        _dict_diff(
+            base[ENGINE_INTERP].stats.to_dict(),
+            base[ENGINE_COMPILED].stats.to_dict(),
+        ),
+    )
+
+    # Selection from the reference (interpreter) trace.
+    params = ModelParams(
+        bw_seq=machine.bw_seq,
+        unassisted_ipc=max(base[ENGINE_INTERP].stats.ipc, 0.05),
+        mem_latency=hierarchy.mem_latency,
+        load_latency=hierarchy.l1.hit_latency,
+    )
+    constraints = SelectionConstraints()
+    selection = select_pthreads(program, func.trace, params, constraints)
+
+    pre: Dict[str, _TimingRun] = {}
+    for engine in _ENGINES:
+        pre[engine] = _run_timing(
+            workload, PRE_EXECUTION, engine, selection.pthreads, machine,
+            max_instructions, check, "timing pre-execution",
+        )
+    check.expect(
+        pre[ENGINE_INTERP].stats.to_dict()
+        == pre[ENGINE_COMPILED].stats.to_dict(),
+        "timing_preexec",
+        _dict_diff(
+            pre[ENGINE_INTERP].stats.to_dict(),
+            pre[ENGINE_COMPILED].stats.to_dict(),
+        ),
+    )
+
+    # ---- family 2: functional vs timing committed state --------------
+    check.start("functional_vs_timing")
+    func_memory = _memory_words(func.memory)
+    for label, run in (
+        ("baseline", base[ENGINE_INTERP]),
+        ("preexec", pre[ENGINE_INTERP]),
+    ):
+        stats = run.stats
+        check.expect_eq(
+            stats.instructions, func.instructions,
+            f"{label}_instructions", "retired instructions",
+        )
+        check.expect_eq(stats.loads, func.loads, f"{label}_loads", "loads")
+        check.expect_eq(stats.stores, func.stores, f"{label}_stores", "stores")
+        check.expect_eq(
+            stats.branches, func.branches, f"{label}_branches", "branches"
+        )
+        check.expect_eq(
+            run.registers, func.registers,
+            f"{label}_registers", "final register file",
+        )
+        check.expect(
+            run.memory_words == func_memory,
+            f"{label}_memory",
+            f"final memory differs on "
+            f"{len(set(run.memory_words.items()) ^ set(func_memory.items()))}"
+            " word(s)",
+        )
+    # Same cache model, same unassisted reference stream.
+    check.expect_eq(
+        base[ENGINE_INTERP].stats.l2_misses, func.l2_misses,
+        "baseline_l2_misses", "unassisted L2 misses",
+    )
+
+    # ---- family 3: p-thread invariant verification -------------------
+    check.start("pthread_verify")
+    diagnostics = verify_selection(program, selection.pthreads, constraints)
+    for diagnostic in diagnostics:
+        if diagnostic.severity is Severity.ERROR:
+            check.fail(diagnostic.code, diagnostic.render())
+
+    # ---- family 4: slice-tree / advantage-model invariants -----------
+    check.start("model_invariants")
+    _check_model(check, selection, params)
+
+    # ---- family 5: cache / MSHR accounting sanity --------------------
+    check.start("memory_sanity")
+    _check_functional_sanity(check, func)
+    _check_stats_sanity(
+        check, base[ENGINE_INTERP].stats, machine, "baseline", pthreads=False
+    )
+    _check_stats_sanity(
+        check, pre[ENGINE_INTERP].stats, machine, "preexec", pthreads=True
+    )
+
+    report.stats = {
+        "instructions": func.instructions,
+        "loads": func.loads,
+        "stores": func.stores,
+        "branches": func.branches,
+        "l1_misses": func.l1_misses,
+        "l2_misses": func.l2_misses,
+        "static_pthreads": len(selection.pthreads),
+        "pthread_launches": pre[ENGINE_INTERP].stats.pthread_launches,
+        "preexec_speedup": (
+            pre[ENGINE_INTERP].stats.speedup_over(base[ENGINE_INTERP].stats)
+            if base[ENGINE_INTERP].stats.ipc > 0
+            else 0.0
+        ),
+    }
+    return report
+
+
+def _check_model(
+    check: _Checker, selection: ProgramSelection, params: ModelParams
+) -> None:
+    """Slice-tree structure + advantage arithmetic consistency."""
+    for load_pc, tree_selection in selection.tree_selections.items():
+        tree = tree_selection.tree
+        check.expect_eq(
+            tree.root.pc, load_pc, "tree_root", "tree root pc"
+        )
+        try:
+            tree.check_invariants()
+        except AssertionError as exc:
+            check.fail("tree_dcptcm", str(exc))
+
+    charge = params.overhead_per_instruction()
+    for pthread in selection.pthreads:
+        tag = f"trigger #{pthread.trigger_pc}"
+        for score in pthread.components:
+            check.expect(
+                0.0 <= score.lt <= params.mem_latency,
+                "lt_bounds",
+                f"{tag}: LT {score.lt} outside [0, {params.mem_latency}]",
+            )
+            check.expect(
+                score.oh >= 0.0, "oh_sign", f"{tag}: OH {score.oh} < 0"
+            )
+            check.expect_close(
+                score.oh, score.size * charge, "oh_formula",
+                f"{tag}: OH vs SIZEpt*charge",
+            )
+            check.expect_close(
+                score.lt_agg, score.dc_pt_cm * score.lt, "lt_agg",
+                f"{tag}: LTagg vs DCpt-cm*LT",
+            )
+            check.expect_close(
+                score.oh_agg, score.dc_trig * score.oh, "oh_agg",
+                f"{tag}: OHagg vs DCtrig*OH",
+            )
+            check.expect_close(
+                score.adv_agg, score.lt_agg - score.oh_agg, "adv_agg",
+                f"{tag}: ADVagg vs LTagg-OHagg",
+            )
+        prediction = pthread.prediction
+        check.expect_close(
+            prediction.oh_agg,
+            prediction.dc_trig * pthread.size * charge,
+            "pthread_oh_agg",
+            f"{tag}: prediction OHagg vs DCtrig*SIZEpt*charge",
+        )
+        check.expect(
+            prediction.misses_fully_covered <= prediction.misses_covered,
+            "pthread_coverage",
+            f"{tag}: fully covered {prediction.misses_fully_covered} > "
+            f"covered {prediction.misses_covered}",
+        )
+
+    prediction = selection.prediction
+    pthreads = selection.pthreads
+    check.expect_eq(
+        prediction.launches,
+        sum(p.prediction.dc_trig for p in pthreads),
+        "agg_launches", "aggregate launches",
+    )
+    check.expect_eq(
+        prediction.injected_instructions,
+        sum(p.prediction.injected_instructions for p in pthreads),
+        "agg_injected", "aggregate injected instructions",
+    )
+    check.expect_close(
+        prediction.oh_agg,
+        sum(p.prediction.oh_agg for p in pthreads),
+        "agg_oh", "aggregate OHagg",
+    )
+    check.expect_close(
+        prediction.lt_agg,
+        sum(p.prediction.lt_agg for p in pthreads),
+        "agg_lt", "aggregate LTagg",
+    )
+    check.expect_close(
+        prediction.adv_agg,
+        prediction.lt_agg - prediction.oh_agg,
+        "agg_adv", "aggregate ADVagg",
+    )
+    check.expect(
+        0 <= prediction.misses_fully_covered
+        <= prediction.misses_covered
+        <= max(prediction.sample_l2_misses, prediction.misses_covered),
+        "agg_coverage",
+        f"coverage ordering violated: full "
+        f"{prediction.misses_fully_covered}, covered "
+        f"{prediction.misses_covered}, sample "
+        f"{prediction.sample_l2_misses}",
+    )
+    check.expect(
+        prediction.misses_covered <= prediction.sample_l2_misses
+        or not prediction.sample_l2_misses,
+        "agg_covered_le_misses",
+        f"covered {prediction.misses_covered} > sample misses "
+        f"{prediction.sample_l2_misses}",
+    )
+
+
+def _check_functional_sanity(
+    check: _Checker, func: FunctionalResult
+) -> None:
+    check.expect(
+        func.halted, "halted",
+        f"program did not halt within the instruction budget "
+        f"({func.instructions} executed)",
+    )
+    level_counts = func.load_level_counts
+    check.expect_eq(
+        sum(level_counts.values()), func.loads,
+        "level_counts", "per-level load counts vs loads",
+    )
+    check.expect(
+        func.l2_misses <= func.l1_misses,
+        "l2_le_l1",
+        f"L2 misses {func.l2_misses} > L1 misses {func.l1_misses}",
+    )
+    check.expect(
+        level_counts.get(2, 0) + level_counts.get(3, 0) <= func.l1_misses,
+        "load_misses_le_l1",
+        f"load L1 misses {level_counts.get(2, 0) + level_counts.get(3, 0)} "
+        f"> total L1 misses {func.l1_misses}",
+    )
+    check.expect(
+        level_counts.get(3, 0) <= func.l2_misses,
+        "load_misses_le_l2",
+        f"memory-level loads {level_counts.get(3, 0)} > L2 misses "
+        f"{func.l2_misses}",
+    )
+
+
+def _check_stats_sanity(
+    check: _Checker,
+    stats: SimStats,
+    machine: MachineConfig,
+    label: str,
+    pthreads: bool,
+) -> None:
+    check.expect(
+        stats.cycles > 0 or not stats.instructions,
+        f"{label}_cycles",
+        f"{stats.instructions} instructions in {stats.cycles} cycles",
+    )
+    check.expect(
+        stats.instructions <= stats.cycles * machine.bw_seq,
+        f"{label}_ipc_bound",
+        f"IPC {stats.ipc:.3f} exceeds sequencing width {machine.bw_seq}",
+    )
+    check.expect(
+        stats.l2_misses <= stats.l1_misses,
+        f"{label}_l2_le_l1",
+        f"L2 misses {stats.l2_misses} > L1 misses {stats.l1_misses}",
+    )
+    check.expect(
+        stats.misses_covered <= stats.l2_misses,
+        f"{label}_covered_le_misses",
+        f"covered {stats.misses_covered} > L2 misses {stats.l2_misses}",
+    )
+    check.expect(
+        stats.loads + stats.stores + stats.branches <= stats.instructions,
+        f"{label}_mix",
+        "loads+stores+branches exceed instruction count",
+    )
+    check.expect(
+        stats.mispredictions <= stats.branches,
+        f"{label}_mispredicts",
+        f"mispredictions {stats.mispredictions} > branches {stats.branches}",
+    )
+    if pthreads:
+        # launches_by_trigger counts attempts; a launch that finds no
+        # free context is dropped instead of launched.
+        check.expect_eq(
+            sum(stats.launches_by_trigger.values()),
+            stats.pthread_launches + stats.pthread_drops,
+            f"{label}_launch_totals",
+            "per-trigger launch attempts vs launches+drops",
+        )
+    else:
+        check.expect(
+            stats.pthread_launches == 0
+            and stats.pthread_instructions == 0
+            and stats.pthread_l2_misses == 0,
+            f"{label}_no_pthreads",
+            "p-thread activity recorded in a mode without p-threads",
+        )

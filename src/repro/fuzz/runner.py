@@ -1,0 +1,92 @@
+"""Fuzz campaign driver behind ``python -m repro fuzz``.
+
+A campaign is a seed range: for each seed it generates a workload,
+runs the differential oracle, and (optionally) shrinks any failure
+into a corpus reproducer.  Verdicts are a pure function of the seed
+list — wall-clock only decides *how many* seeds a time-budgeted
+campaign reaches, never what any seed reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.generator import generate
+from repro.fuzz.oracle import CHECK_FAMILIES, run_oracle
+from repro.fuzz.shrink import shrink, write_reproducer
+
+
+def run_campaign(
+    seeds: int = 25,
+    base_seed: int = 0,
+    shape: Optional[str] = None,
+    budget_seconds: Optional[float] = None,
+    do_shrink: bool = False,
+    corpus_dir: str = "corpus",
+    max_instructions: int = 400_000,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run one fuzz campaign; returns the JSON-ready summary.
+
+    Args:
+        seeds: number of seeds to try (``base_seed`` ..).
+        base_seed: first seed of the range.
+        shape: fix every workload to one generator shape, or ``None``
+            to let each seed pick.
+        budget_seconds: optional wall-clock budget; the campaign stops
+            *between* seeds once exceeded (never mid-seed, so each
+            finished seed's verdict is complete and reproducible).
+        do_shrink: minimize failures and persist reproducers.
+        corpus_dir: where reproducers are written.
+        max_instructions: per-simulation instruction cap.
+        log: optional progress sink (e.g. ``print``).
+    """
+    emit = log or (lambda message: None)
+    start = time.monotonic()
+    reports: List[Dict] = []
+    reproducers: List[str] = []
+    failed = 0
+    seeds_run = 0
+
+    for seed in range(base_seed, base_seed + seeds):
+        if budget_seconds is not None and seeds_run:
+            if time.monotonic() - start >= budget_seconds:
+                emit(
+                    f"budget exhausted after {seeds_run}/{seeds} seed(s)"
+                )
+                break
+        workload = generate(seed, shape)
+        report = run_oracle(workload, max_instructions=max_instructions)
+        seeds_run += 1
+        reports.append(report.to_dict())
+        if report.ok:
+            emit(f"{workload.name}: ok")
+            continue
+        failed += 1
+        emit(report.render())
+        if do_shrink:
+            result = shrink(
+                workload, report, max_instructions=max_instructions
+            )
+            path = write_reproducer(result, corpus_dir)
+            reproducers.append(str(path))
+            emit(
+                f"  shrunk {result.original_lines} -> "
+                f"{result.shrunk_lines} line(s) in "
+                f"{result.evaluations} oracle run(s): {path}"
+            )
+
+    return {
+        "base_seed": base_seed,
+        "seeds_requested": seeds,
+        "seeds_run": seeds_run,
+        "shape": shape,
+        "check_families": list(CHECK_FAMILIES),
+        "max_instructions": max_instructions,
+        "ok": seeds_run - failed,
+        "failed": failed,
+        "reports": reports,
+        "reproducers": reproducers,
+        "elapsed_seconds": round(time.monotonic() - start, 3),
+    }

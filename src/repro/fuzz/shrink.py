@@ -1,0 +1,234 @@
+"""Greedy failure shrinking and corpus persistence.
+
+When the oracle flags a generated program, the raw reproducer is
+usually dozens of instructions across several kernels; the bug almost
+always lives in a handful of them.  :func:`shrink` minimizes the
+failing *source* by whole-line deletion — delta-debugging style: try
+removing large chunks first, halve the chunk size when nothing in a
+pass can be removed, stop at single lines.  A candidate deletion is
+kept only if the program still assembles and the oracle still reports
+at least one of the *original* (family, check) failures, so shrinking
+can never wander onto a different bug (e.g. a deletion that breaks
+loop termination introduces new failures but does not preserve the
+original one, and is rejected).
+
+Because the generator emits every label on its own line, deleting an
+instruction line never orphans a branch target; deleting a *label*
+line that is still referenced simply fails assembly and is rejected
+by the same predicate.
+
+Minimized reproducers are persisted to a ``corpus/`` directory as
+self-contained JSON — source, data image, hierarchy, seed, and the
+failing checks — so a finding replays without the generator:
+``python -m repro fuzz --replay corpus/<name>.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.fuzz.generator import FuzzWorkload
+from repro.fuzz.oracle import OracleReport, run_oracle
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.program import DataImage, ProgramError
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import HierarchyConfig
+
+
+def _reassemble(workload: FuzzWorkload, lines: Sequence[str]) -> FuzzWorkload:
+    """The same workload with its source replaced by ``lines``."""
+    source = "\n".join(lines) + "\n"
+    program = assemble(source, data=workload.program.data, name=workload.name)
+    return FuzzWorkload(
+        name=workload.name,
+        seed=workload.seed,
+        shape=workload.shape,
+        source=source,
+        program=program,
+        hierarchy=workload.hierarchy,
+        metadata=dict(workload.metadata),
+    )
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    workload: FuzzWorkload
+    report: OracleReport
+    failed_checks: List[Tuple[str, str]]
+    original_lines: int
+    shrunk_lines: int
+    evaluations: int
+
+    @property
+    def reduced(self) -> bool:
+        return self.shrunk_lines < self.original_lines
+
+
+def shrink(
+    workload: FuzzWorkload,
+    report: Optional[OracleReport] = None,
+    max_instructions: int = 400_000,
+    budget: int = 150,
+) -> ShrinkResult:
+    """Minimize a failing workload while preserving its failure.
+
+    Args:
+        workload: the failing workload.
+        report: its oracle report; recomputed when ``None``.
+        max_instructions: per-run instruction cap for oracle re-checks.
+        budget: maximum number of oracle evaluations to spend.
+
+    Raises:
+        ValueError: if the oracle finds nothing to preserve.
+    """
+    if report is None:
+        report = run_oracle(workload, max_instructions=max_instructions)
+    target = report.failed_checks()
+    if not target:
+        raise ValueError(f"{workload.name}: oracle reports no failure to shrink")
+
+    lines = [line for line in workload.source.splitlines() if line.strip()]
+    evaluations = 0
+    best_report = report
+
+    def still_fails(candidate: List[str]) -> Optional[OracleReport]:
+        nonlocal evaluations
+        evaluations += 1
+        try:
+            reduced = _reassemble(workload, candidate)
+        except (AssemblerError, ProgramError, ValueError):
+            return None
+        result = run_oracle(reduced, max_instructions=max_instructions)
+        if result.failed_checks() & target:
+            return result
+        return None
+
+    chunk = max(len(lines) // 2, 1)
+    while chunk >= 1 and evaluations < budget:
+        removed_any = False
+        start = 0
+        while start < len(lines) and evaluations < budget:
+            candidate = lines[:start] + lines[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            result = still_fails(candidate)
+            if result is not None:
+                lines = candidate
+                best_report = result
+                removed_any = True
+                # Re-test the same position: the next chunk slid in.
+            else:
+                start += chunk
+        if not removed_any:
+            if chunk == 1:
+                break  # single-line fixpoint: nothing left to remove
+            chunk = max(chunk // 2, 1)
+        elif chunk > len(lines):
+            chunk = max(len(lines) // 2, 1)
+        # else: repeat the pass at the same granularity — a deletion
+        # may have unblocked earlier positions (e.g. a label becomes
+        # deletable once its last referencing branch is gone).
+
+    final = _reassemble(workload, lines)
+    return ShrinkResult(
+        workload=final,
+        report=best_report,
+        failed_checks=sorted(target),
+        original_lines=len(
+            [l for l in workload.source.splitlines() if l.strip()]
+        ),
+        shrunk_lines=len(lines),
+        evaluations=evaluations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Corpus persistence
+
+
+def _hierarchy_to_dict(hierarchy: HierarchyConfig) -> dict:
+    def cache(config: CacheConfig) -> dict:
+        return {
+            "name": config.name,
+            "size_bytes": config.size_bytes,
+            "line_bytes": config.line_bytes,
+            "assoc": config.assoc,
+            "hit_latency": config.hit_latency,
+        }
+
+    return {
+        "l1": cache(hierarchy.l1),
+        "l2": cache(hierarchy.l2),
+        "mem_latency": hierarchy.mem_latency,
+        "mshr_entries": hierarchy.mshr_entries,
+        "backside_bus_bytes": hierarchy.backside_bus_bytes,
+        "backside_bus_divisor": hierarchy.backside_bus_divisor,
+        "memory_bus_bytes": hierarchy.memory_bus_bytes,
+        "memory_bus_divisor": hierarchy.memory_bus_divisor,
+    }
+
+
+def _hierarchy_from_dict(payload: dict) -> HierarchyConfig:
+    return HierarchyConfig(
+        l1=CacheConfig(**payload["l1"]),
+        l2=CacheConfig(**payload["l2"]),
+        mem_latency=payload["mem_latency"],
+        mshr_entries=payload["mshr_entries"],
+        backside_bus_bytes=payload["backside_bus_bytes"],
+        backside_bus_divisor=payload["backside_bus_divisor"],
+        memory_bus_bytes=payload["memory_bus_bytes"],
+        memory_bus_divisor=payload["memory_bus_divisor"],
+    )
+
+
+def write_reproducer(result: ShrinkResult, corpus_dir) -> Path:
+    """Persist a minimized reproducer; returns the file written."""
+    workload = result.workload
+    payload = {
+        "format": 1,
+        "name": workload.name,
+        "seed": workload.seed,
+        "shape": workload.shape,
+        "failed_checks": [list(pair) for pair in result.failed_checks],
+        "failures": [f.to_dict() for f in result.report.failures],
+        "source": workload.source,
+        "data_words": [
+            [addr, value]
+            for addr, value in sorted(workload.program.data.words.items())
+        ],
+        "hierarchy": _hierarchy_to_dict(workload.hierarchy),
+        "shrink": {
+            "original_lines": result.original_lines,
+            "shrunk_lines": result.shrunk_lines,
+            "evaluations": result.evaluations,
+        },
+    }
+    directory = Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{workload.name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path) -> FuzzWorkload:
+    """Rebuild a replayable workload from a corpus file."""
+    payload = json.loads(Path(path).read_text())
+    image = DataImage()
+    for addr, value in payload["data_words"]:
+        image.store_word(addr, value)
+    program = assemble(payload["source"], data=image, name=payload["name"])
+    return FuzzWorkload(
+        name=payload["name"],
+        seed=payload["seed"],
+        shape=payload["shape"],
+        source=payload["source"],
+        program=program,
+        hierarchy=_hierarchy_from_dict(payload["hierarchy"]),
+        metadata={"replay": True, "failed_checks": payload["failed_checks"]},
+    )

@@ -221,6 +221,13 @@ class TimingSimulator:
             ``REPRO_ENGINE`` environment variable (default compiled).
 
     Attributes:
+        last_registers: committed register file after the most recent
+            :meth:`run` (empty before the first run).
+        last_memory: committed :class:`MainMemory` after the most
+            recent :meth:`run` (``None`` before the first run).
+            P-thread stores stay in the speculative store buffer and
+            never commit, so in every mode this state must equal the
+            functional simulator's — the differential oracle checks it.
         last_engine: the engine the most recent :meth:`run` actually
             used (``"interp"`` also when the compiled engine fell back).
     """
@@ -254,6 +261,8 @@ class TimingSimulator:
                     )
         self.engine = resolve_engine(engine)
         self.last_engine: Optional[str] = None
+        self.last_registers: List[int] = []
+        self.last_memory: Optional[MainMemory] = None
         self._compiled: Dict[tuple, Optional[CompiledBlocks]] = {}
         # Static over all regions: the PCs where launches can ever
         # trigger (compiled blocks embed the launch check there) and
@@ -390,6 +399,8 @@ class TimingSimulator:
             + hierarchy.full_covered
             + hierarchy.partial_covered
         )
+        self.last_registers = list(st.regs)
+        self.last_memory = memory
         return stats
 
     # ------------------------------------------------------------------

@@ -1,0 +1,91 @@
+"""Tests for the differential oracle."""
+
+import pytest
+
+import repro.fuzz.oracle as oracle_module
+from repro.engine.compiler import ENGINE_COMPILED
+from repro.fuzz.generator import generate
+from repro.fuzz.oracle import CHECK_FAMILIES, CheckFailure, run_oracle
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    return run_oracle(generate(3))
+
+
+class TestCleanRun:
+    def test_clean_workload_passes(self, clean_report):
+        assert clean_report.ok, [f.render() for f in clean_report.failures]
+
+    def test_all_five_families_run(self, clean_report):
+        assert clean_report.families_run == list(CHECK_FAMILIES)
+
+    def test_stats_describe_the_run(self, clean_report):
+        stats = clean_report.stats
+        assert stats["instructions"] > 0
+        assert stats["loads"] > 0
+        assert stats["l1_misses"] >= stats["l2_misses"]
+
+    def test_to_dict_is_json_shaped(self, clean_report):
+        payload = clean_report.to_dict()
+        assert payload["ok"] is True
+        assert payload["failures"] == []
+        assert payload["families_run"] == list(CHECK_FAMILIES)
+        assert payload["seed"] == 3
+
+    def test_deterministic_verdicts(self, clean_report):
+        again = run_oracle(generate(3))
+        assert again.to_dict() == clean_report.to_dict()
+
+
+class TestFailureDetection:
+    def test_timing_divergence_is_caught(self, monkeypatch):
+        # Inject a one-cycle accounting bug into the compiled timing
+        # engine only; the oracle must flag the engine mismatch while
+        # still running every family.
+        real_run = oracle_module.TimingSimulator.run
+
+        def skewed_run(self, *args, **kwargs):
+            stats = real_run(self, *args, **kwargs)
+            if self.last_engine == ENGINE_COMPILED:
+                stats.cycles += 1
+            return stats
+
+        monkeypatch.setattr(
+            oracle_module.TimingSimulator, "run", skewed_run
+        )
+        report = run_oracle(generate(3))
+        assert not report.ok
+        families = {f.family for f in report.failures}
+        assert families == {"engine_equivalence"}
+        checks = {f.check for f in report.failures}
+        assert "timing_baseline" in checks
+        assert report.families_run == list(CHECK_FAMILIES)
+
+    def test_committed_state_divergence_is_caught(self, monkeypatch):
+        # Corrupt the timing simulator's committed register capture:
+        # the functional-vs-timing family must see it.
+        real_run = oracle_module.TimingSimulator.run
+
+        def corrupting_run(self, *args, **kwargs):
+            stats = real_run(self, *args, **kwargs)
+            self.last_registers = list(self.last_registers)
+            self.last_registers[5] ^= 1
+            return stats
+
+        monkeypatch.setattr(
+            oracle_module.TimingSimulator, "run", corrupting_run
+        )
+        report = run_oracle(generate(3))
+        checks = report.failed_checks()
+        assert ("functional_vs_timing", "baseline_registers") in checks
+        assert ("functional_vs_timing", "preexec_registers") in checks
+
+    def test_failure_identity_round_trips(self):
+        failure = CheckFailure("memory_sanity", "halted", "did not halt")
+        assert failure.to_dict() == {
+            "family": "memory_sanity",
+            "check": "halted",
+            "message": "did not halt",
+        }
+        assert "memory_sanity/halted" in failure.render()

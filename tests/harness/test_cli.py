@@ -126,6 +126,60 @@ class TestLintCommand:
         assert "speedup" in capsys.readouterr().out
 
 
+class TestFuzzCommand:
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seeds == 25
+        assert args.base_seed == 0
+        assert args.shape is None
+        assert not args.shrink
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--shape", "spaghetti"])
+
+    def test_campaign_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "out" / "FUZZ.json"
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seeds", "2",
+                    "--base-seed", "3",
+                    "--report", str(report),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 seed(s): 2 ok, 0 failed" in out
+        payload = json.loads(report.read_text())
+        assert payload["seeds_run"] == 2
+        assert payload["base_seed"] == 3
+        assert payload["failed"] == 0
+        assert len(payload["reports"]) == 2
+
+    def test_replay_of_clean_reproducer(self, capsys, tmp_path):
+        # Round-trip a (passing) workload through the corpus format and
+        # replay it by file.
+        from repro.fuzz.generator import generate
+        from repro.fuzz.oracle import run_oracle
+        from repro.fuzz.shrink import ShrinkResult, write_reproducer
+
+        workload = generate(3)
+        result = ShrinkResult(
+            workload=workload,
+            report=run_oracle(workload),
+            failed_checks=[],
+            original_lines=10,
+            shrunk_lines=10,
+            evaluations=0,
+        )
+        path = write_reproducer(result, tmp_path)
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -1,0 +1,24 @@
+"""Shared hypothesis configuration for the property-test suite.
+
+Named profiles replace the per-test ``@settings(...)`` boilerplate:
+
+* ``ci`` (default): no deadline (shared CI runners have noisy clocks)
+  and a bumped example count — the thoroughness tier the suite gates
+  on.
+* ``dev``: a fast iteration tier for local edit-test loops.
+
+Select with ``HYPOTHESIS_PROFILE=dev pytest tests/property``.  Tests
+whose generators are markedly heavier (slice-tree construction) or
+cheaper (pure parsing) than the default still carry an explicit
+``@settings(max_examples=...)`` override; everything else inherits
+the profile.  Overrides compose with the profile, so ``deadline=None``
+never needs restating.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", deadline=None, max_examples=150)
+settings.register_profile("dev", deadline=None, max_examples=20)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

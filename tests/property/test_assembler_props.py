@@ -49,14 +49,13 @@ def random_instruction(draw) -> Instruction:
 
 
 @given(inst=random_instruction())
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=300)
 def test_format_parse_round_trip(inst):
     _, parsed = parse_line(format_instruction(inst))
     assert parsed == inst
 
 
 @given(inst=random_instruction())
-@settings(max_examples=100, deadline=None)
 def test_abi_format_parses_identically(inst):
     _, parsed = parse_line(format_instruction(inst, abi=True))
     assert parsed == inst

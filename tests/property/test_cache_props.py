@@ -1,6 +1,6 @@
 """Property-based tests on cache and bus invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.memory.bus import Bus
 from repro.memory.cache import Cache, CacheConfig
@@ -14,7 +14,6 @@ addresses = st.lists(
 
 
 @given(addrs=addresses)
-@settings(max_examples=100, deadline=None)
 def test_cache_capacity_never_exceeded(addrs):
     cache = Cache(CacheConfig("T", 1024, 32, 2, 1))
     for addr in addrs:
@@ -23,7 +22,6 @@ def test_cache_capacity_never_exceeded(addrs):
 
 
 @given(addrs=addresses)
-@settings(max_examples=100, deadline=None)
 def test_cache_repeat_access_always_hits(addrs):
     cache = Cache(CacheConfig("T", 4096, 32, 4, 1))
     for addr in addrs:
@@ -32,7 +30,6 @@ def test_cache_repeat_access_always_hits(addrs):
 
 
 @given(addrs=addresses)
-@settings(max_examples=100, deadline=None)
 def test_cache_stats_consistent(addrs):
     cache = Cache(CacheConfig("T", 1024, 32, 2, 1))
     for addr in addrs:
@@ -51,7 +48,6 @@ def test_cache_stats_consistent(addrs):
         max_size=100,
     )
 )
-@settings(max_examples=100, deadline=None)
 def test_bus_completion_after_request(requests):
     bus = Bus("b", 32, 4)
     for now, num_bytes in requests:
@@ -66,7 +62,6 @@ def test_bus_completion_after_request(requests):
         max_size=60,
     )
 )
-@settings(max_examples=100, deadline=None)
 def test_mshr_outstanding_bounded(lines):
     mshrs = MshrFile(8)
     now = 0

@@ -68,7 +68,6 @@ def memory(addr: int) -> int:
 
 
 @given(pair=mergeable_pair(), seed=st.integers(0, 1 << 16))
-@settings(max_examples=120, deadline=None)
 def test_merge_preserves_component_targets(pair, seed):
     insts_a, insts_b = pair
     a, b = make_pthread(insts_a), make_pthread(insts_b)
@@ -86,7 +85,7 @@ def test_merge_preserves_component_targets(pair, seed):
 
 
 @given(pair=mergeable_pair())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_merge_never_larger_than_concatenation(pair):
     insts_a, insts_b = pair
     merged = merge_two(

@@ -34,7 +34,6 @@ def linear_computation(draw):
 
 
 @given(computation=linear_computation())
-@settings(max_examples=150, deadline=None)
 def test_scdh_completion_monotone_along_chain(computation):
     sc, latencies, deps = computation
     completion = scdh_profile(sc, latencies, deps)
@@ -42,7 +41,6 @@ def test_scdh_completion_monotone_along_chain(computation):
 
 
 @given(computation=linear_computation(), scale=st.floats(1.0, 4.0))
-@settings(max_examples=100, deadline=None)
 def test_scdh_monotone_in_sequencing(computation, scale):
     sc, latencies, deps = computation
     base = scdh_input_height(sc, latencies, deps)
@@ -51,7 +49,6 @@ def test_scdh_monotone_in_sequencing(computation, scale):
 
 
 @given(computation=linear_computation())
-@settings(max_examples=100, deadline=None)
 def test_scdh_height_at_least_sequencing(computation):
     sc, latencies, deps = computation
     assert scdh_input_height(sc, latencies, deps) >= sc[-1]
@@ -87,7 +84,6 @@ def chain_candidate(n_addis, mem_latency, dc_trig, dc_ptcm, iteration=12):
     dc_trig=st.integers(1, 100_000),
     dc_ptcm=st.integers(0, 100_000),
 )
-@settings(max_examples=150, deadline=None)
 def test_candidate_invariants(n_addis, mem_latency, dc_trig, dc_ptcm):
     dc_ptcm = min(dc_ptcm, dc_trig)
     score = chain_candidate(n_addis, mem_latency, dc_trig, dc_ptcm)
@@ -99,7 +95,7 @@ def test_candidate_invariants(n_addis, mem_latency, dc_trig, dc_ptcm):
 
 
 @given(n_addis=st.integers(0, 16))
-@settings(max_examples=50, deadline=None)
+@settings(max_examples=50)
 def test_unrolling_monotone_tolerance(n_addis):
     shallow = chain_candidate(n_addis, 280, 100, 50)
     deeper = chain_candidate(n_addis + 1, 280, 100, 50)

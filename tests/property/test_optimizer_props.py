@@ -76,7 +76,6 @@ def reference_memory(addr: int) -> int:
 
 
 @given(instructions=body_instructions(), seed_values=seeds())
-@settings(max_examples=150, deadline=None)
 def test_optimizer_preserves_target_semantics(instructions, seed_values):
     body = PThreadBody(instructions)
     optimized = optimize_body(body, assume_no_alias=False)
@@ -94,7 +93,6 @@ def test_optimizer_preserves_target_semantics(instructions, seed_values):
 
 
 @given(instructions=body_instructions())
-@settings(max_examples=100, deadline=None)
 def test_optimizer_never_grows_body(instructions):
     body = PThreadBody(instructions)
     optimized = optimize_body(body)
@@ -103,7 +101,7 @@ def test_optimizer_never_grows_body(instructions):
 
 
 @given(instructions=body_instructions())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 def test_optimizer_idempotent(instructions):
     body = PThreadBody(instructions)
     once = optimize_body(body)

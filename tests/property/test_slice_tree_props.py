@@ -62,7 +62,7 @@ def indirect_loop_program(draw):
 
 
 @given(program=indirect_loop_program(), scope=st.sampled_from([32, 128, 1024]))
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 def test_tree_invariants_hold(program, scope):
     result = run_program(program, HIERARCHY)
     trees = build_slice_trees(result.trace, scope=scope, max_length=24)
@@ -71,7 +71,7 @@ def test_tree_invariants_hold(program, scope):
 
 
 @given(program=indirect_loop_program())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_miss_partition(program):
     result = run_program(program, HIERARCHY)
     trees = build_slice_trees(result.trace)
@@ -80,7 +80,7 @@ def test_miss_partition(program):
 
 
 @given(program=indirect_loop_program())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 def test_dist_pl_strictly_increases_on_paths(program):
     result = run_program(program, HIERARCHY)
     for tree in build_slice_trees(result.trace).values():
