@@ -14,6 +14,8 @@ Commands mirror the paper's artifacts::
     python -m repro bench speed           # engine throughput benchmark
     python -m repro fuzz --seeds 25       # differential fuzzing campaign
     python -m repro fuzz --replay corpus/fuzz-000042-stride.json
+    python -m repro obs report            # metrics registry report
+    python -m repro obs check --input results/metrics_snapshot.json
 
 Sweeps accept ``--workloads`` to restrict the suite, ``--jobs/-j`` to
 fan cells out over worker processes (default ``REPRO_JOBS``, then the
@@ -21,6 +23,9 @@ CPU count), ``--no-cache`` to skip the persistent artifact cache,
 ``--engine compiled|interp`` to pick the simulation engine (default
 compiled; also via ``REPRO_ENGINE``), and ``--perf`` to append a
 stage-timing / cache-effectiveness report.
+Every pipeline command also takes ``--trace PATH`` (write the
+invocation's nested span tree as JSON) and ``--metrics PATH`` (write a
+metrics snapshot as JSON) — see DESIGN.md's Observability section.
 Everything prints to stdout in the same fixed-width format the benches
 write to ``results/``.
 """
@@ -45,7 +50,20 @@ from repro.harness.figures import (
     figure8b_processor_width,
 )
 from repro.harness.parallel import SweepExecutor
+from repro.harness.report import publish_harness_metrics
 from repro.harness.tables import render_table1, render_table2, table1, table2
+from repro.obs import (
+    check_snapshot,
+    get_registry,
+    get_tracer,
+    load_snapshot,
+    render_report,
+    reset_registry,
+    reset_tracer,
+    snapshot_document,
+    to_prometheus,
+    write_snapshot,
+)
 from repro.workloads.suite import SUITE
 
 _FIGURES = {
@@ -85,6 +103,23 @@ def _print_perf(args: argparse.Namespace, executor: SweepExecutor) -> None:
     if getattr(args, "perf", False):
         print()
         print(executor.perf.render())
+
+
+def _publish_harness(perf, artifacts) -> None:
+    """Fold harness counters into the global registry (export surface)."""
+    publish_harness_metrics(perf, artifacts)
+
+
+def _export_observability(args: argparse.Namespace) -> None:
+    """Write the span tree / metrics snapshot the flags asked for."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        get_tracer().export(trace_path)
+        print(f"wrote {trace_path}")
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        write_snapshot(metrics_path, get_registry())
+        print(f"wrote {metrics_path}")
 
 
 def _apply_engine(args: argparse.Namespace) -> None:
@@ -141,6 +176,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     if getattr(args, "perf", False):
         print()
         print(runner.perf.render())
+    _publish_harness(runner.perf, runner.artifacts)
 
 
 def _cmd_table(args: argparse.Namespace) -> None:
@@ -153,6 +189,7 @@ def _cmd_table(args: argparse.Namespace) -> None:
     else:
         print(render_table2(table2(workloads=workloads, executor=executor)))
     _print_perf(args, executor)
+    _publish_harness(executor.perf, executor.artifacts)
 
 
 def _cmd_figure(args: argparse.Namespace) -> None:
@@ -167,6 +204,7 @@ def _cmd_figure(args: argparse.Namespace) -> None:
         )
     print(figure_fn(workloads=workloads, executor=executor).render())
     _print_perf(args, executor)
+    _publish_harness(executor.perf, executor.artifacts)
 
 
 def _cmd_cache(args: argparse.Namespace) -> None:
@@ -319,6 +357,39 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if summary["failed"] else 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.action == "check":
+        if not args.input:
+            raise SystemExit("obs check requires --input SNAPSHOT.json")
+        doc = load_snapshot(args.input)
+        problems = check_snapshot(doc)
+        if problems:
+            for problem in problems:
+                print(f"SCHEMA CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.input}: metric catalog intact")
+        return 0
+
+    if args.input:
+        doc = load_snapshot(args.input)
+        metrics = doc["metrics"]
+    else:
+        # No snapshot given: run a small pipeline so the report shows
+        # live numbers from every registered subsystem.
+        runner = ExperimentRunner(artifacts=_artifacts(args))
+        runner.run(ExperimentConfig(workload=args.workload))
+        _publish_harness(runner.perf, runner.artifacts)
+        doc = snapshot_document(get_registry())
+        metrics = doc["metrics"]
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        print(to_prometheus(metrics))
+    else:
+        print(render_report(metrics))
+    return 0
+
+
 def _cmd_branches(args: argparse.Namespace) -> None:
     from repro.engine import run_program
     from repro.model import ModelParams, SelectionConstraints
@@ -383,11 +454,22 @@ def build_parser() -> argparse.ArgumentParser:
                 "transformation (sets REPRO_VERIFY=1)"
             ),
         )
+        add_observability(p)
         if jobs:
             p.add_argument(
                 "--jobs", "-j", type=int, default=None,
                 help="worker processes (default REPRO_JOBS, then CPU count)",
             )
+
+    def add_observability(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write this invocation's span tree as JSON to PATH",
+        )
+        p.add_argument(
+            "--metrics", default=None, metavar="PATH",
+            help="write a metrics snapshot as JSON to PATH",
+        )
 
     run_parser = sub.add_parser("run", help="full pipeline on one workload")
     run_parser.add_argument("workload", choices=SUITE + ["pharmacy"])
@@ -496,7 +578,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", nargs="+", default=None, metavar="FILE",
         help="replay corpus reproducer file(s) instead of generating",
     )
+    add_observability(fuzz_parser)
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    obs_parser = sub.add_parser(
+        "obs", help="observability: metric reports and snapshot checks"
+    )
+    obs_parser.add_argument(
+        "action", choices=["report", "check"],
+        help=(
+            "report: print the metrics registry (populated by a pipeline "
+            "run unless --input names a snapshot); check: validate a "
+            "snapshot file against the metric catalog"
+        ),
+    )
+    obs_parser.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="read metrics from a snapshot file instead of running",
+    )
+    obs_parser.add_argument(
+        "--workload", default="pharmacy", choices=SUITE + ["pharmacy"],
+        help=(
+            "workload the report runs to populate the registry when no "
+            "--input is given (default pharmacy)"
+        ),
+    )
+    obs_parser.add_argument(
+        "--format", choices=["table", "json", "prom"], default="table",
+        help="report output format (default table)",
+    )
+    add_observability(obs_parser)
+    obs_parser.set_defaults(func=_cmd_obs)
 
     lint_parser = sub.add_parser(
         "lint", help="static lints and p-thread verification reports"
@@ -527,7 +639,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # One invocation = one trace / one metric registry, even when main()
+    # is driven repeatedly in-process (tests, scripting).
+    reset_tracer()
+    reset_registry()
     rc = args.func(args)
+    _export_observability(args)
     return rc or 0
 
 

@@ -71,6 +71,7 @@ from repro.engine.decode import (
     K_STORE,
 )
 from repro.isa.opcodes import Opcode, WORD_SIZE
+from repro.obs import get_registry as obs_registry
 
 #: Environment variable selecting the execution engine.
 ENGINE_ENV = "REPRO_ENGINE"
@@ -289,6 +290,9 @@ def _finish(
     source = "\n".join(lines) + "\n"
     namespace: Dict[str, object] = {}
     exec(compile(source, filename, "exec"), namespace)
+    registry = obs_registry()
+    registry.counter("engine.compile.programs").inc()
+    registry.counter("engine.compile.blocks").inc(len(blocks))
     return CompiledBlocks(
         bind=namespace["_bind"],
         starts=[start for start, _ in blocks],
@@ -722,7 +726,9 @@ def _emit_timing_block(
             emit("        if disp > ready:")
             emit("            ready = disp")
             emit("        complete = ready + 1")
-            emit("        mt(a, complete, True)")
+            emit("        lvl, _c = mt(a, complete, True)")
+            emit("        if lvl != 1:")
+            emit("            tallies[0] += 1")
             emit("        if a in sq:")
             emit("            del sq[a]")
             emit(f"        r2 = rdy[{rs2}]")

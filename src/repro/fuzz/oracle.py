@@ -42,6 +42,7 @@ shrinking can match "the same failure" across candidate reductions:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -97,6 +98,9 @@ class OracleReport:
     families_run: List[str] = field(default_factory=list)
     failures: List[CheckFailure] = field(default_factory=list)
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: True when a soft deadline truncated this run: later families were
+    #: skipped entirely, but every check that did run is complete.
+    budget_exceeded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -115,10 +119,16 @@ class OracleReport:
             "families_run": list(self.families_run),
             "failures": [f.to_dict() for f in self.failures],
             "stats": dict(self.stats),
+            "budget_exceeded": self.budget_exceeded,
         }
 
     def render(self) -> str:
         verdict = "ok" if self.ok else f"{len(self.failures)} failure(s)"
+        if self.budget_exceeded:
+            verdict += (
+                f" (budget exceeded after "
+                f"{len(self.families_run)} family(ies))"
+            )
         lines = [f"{self.name}: {verdict}"]
         lines.extend("  " + f.render() for f in self.failures)
         return "\n".join(lines)
@@ -218,12 +228,19 @@ def run_oracle(
     workload: FuzzWorkload,
     max_instructions: int = 400_000,
     machine: Optional[MachineConfig] = None,
+    deadline: Optional[float] = None,
 ) -> OracleReport:
     """Run every check family over one workload.
 
     Deterministic: the same workload (same seed) always yields the
     same verdicts.  All five families run even when an early family
     fails, so a report shows the full blast radius of a bug.
+
+    ``deadline`` is an absolute ``time.monotonic()`` value acting as a
+    *soft* per-run budget: it is consulted only between simulation
+    stages and check families, never inside one, so a truncated run
+    (``budget_exceeded=True``) skips later families entirely while
+    every check that did run is complete and reproducible.
     """
     machine = machine or MachineConfig()
     report = OracleReport(
@@ -231,6 +248,12 @@ def run_oracle(
     )
     check = _Checker(report)
     program, hierarchy = workload.program, workload.hierarchy
+
+    def expired() -> bool:
+        if deadline is not None and time.monotonic() >= deadline:
+            report.budget_exceeded = True
+            return True
+        return False
 
     # ---- family 1: engine equivalence --------------------------------
     check.start("engine_equivalence")
@@ -250,6 +273,16 @@ def run_oracle(
         "functional",
         _dict_diff(func_dicts[ENGINE_INTERP], func_dicts[ENGINE_COMPILED]),
     )
+    report.stats = {
+        "instructions": func.instructions,
+        "loads": func.loads,
+        "stores": func.stores,
+        "branches": func.branches,
+        "l1_misses": func.l1_misses,
+        "l2_misses": func.l2_misses,
+    }
+    if expired():
+        return report
 
     base: Dict[str, _TimingRun] = {}
     for engine in _ENGINES:
@@ -266,6 +299,8 @@ def run_oracle(
             base[ENGINE_COMPILED].stats.to_dict(),
         ),
     )
+    if expired():
+        return report
 
     # Selection from the reference (interpreter) trace.
     params = ModelParams(
@@ -276,6 +311,9 @@ def run_oracle(
     )
     constraints = SelectionConstraints()
     selection = select_pthreads(program, func.trace, params, constraints)
+    report.stats["static_pthreads"] = len(selection.pthreads)
+    if expired():
+        return report
 
     pre: Dict[str, _TimingRun] = {}
     for engine in _ENGINES:
@@ -292,6 +330,16 @@ def run_oracle(
             pre[ENGINE_COMPILED].stats.to_dict(),
         ),
     )
+    report.stats["pthread_launches"] = (
+        pre[ENGINE_INTERP].stats.pthread_launches
+    )
+    report.stats["preexec_speedup"] = (
+        pre[ENGINE_INTERP].stats.speedup_over(base[ENGINE_INTERP].stats)
+        if base[ENGINE_INTERP].stats.ipc > 0
+        else 0.0
+    )
+    if expired():
+        return report
 
     # ---- family 2: functional vs timing committed state --------------
     check.start("functional_vs_timing")
@@ -326,6 +374,20 @@ def run_oracle(
         base[ENGINE_INTERP].stats.l2_misses, func.l2_misses,
         "baseline_l2_misses", "unassisted L2 misses",
     )
+    # L1 misses count loads *and* stores in both models (the timing
+    # simulator used to drop store misses on the floor).  Timing may
+    # forward a load from the store queue instead of accessing the
+    # hierarchy, so its count can trail the functional one, but never
+    # exceed it while the reference stream is unassisted.
+    check.expect(
+        base[ENGINE_INTERP].stats.l1_misses <= func.l1_misses,
+        "baseline_l1_misses",
+        f"timing L1 misses {base[ENGINE_INTERP].stats.l1_misses} > "
+        f"functional {func.l1_misses}",
+    )
+
+    if expired():
+        return report
 
     # ---- family 3: p-thread invariant verification -------------------
     check.start("pthread_verify")
@@ -334,9 +396,15 @@ def run_oracle(
         if diagnostic.severity is Severity.ERROR:
             check.fail(diagnostic.code, diagnostic.render())
 
+    if expired():
+        return report
+
     # ---- family 4: slice-tree / advantage-model invariants -----------
     check.start("model_invariants")
     _check_model(check, selection, params)
+
+    if expired():
+        return report
 
     # ---- family 5: cache / MSHR accounting sanity --------------------
     check.start("memory_sanity")
@@ -348,21 +416,6 @@ def run_oracle(
         check, pre[ENGINE_INTERP].stats, machine, "preexec", pthreads=True
     )
 
-    report.stats = {
-        "instructions": func.instructions,
-        "loads": func.loads,
-        "stores": func.stores,
-        "branches": func.branches,
-        "l1_misses": func.l1_misses,
-        "l2_misses": func.l2_misses,
-        "static_pthreads": len(selection.pthreads),
-        "pthread_launches": pre[ENGINE_INTERP].stats.pthread_launches,
-        "preexec_speedup": (
-            pre[ENGINE_INTERP].stats.speedup_over(base[ENGINE_INTERP].stats)
-            if base[ENGINE_INTERP].stats.ipc > 0
-            else 0.0
-        ),
-    }
     return report
 
 
@@ -538,13 +591,30 @@ def _check_stats_sanity(
         f"mispredictions {stats.mispredictions} > branches {stats.branches}",
     )
     if pthreads:
-        # launches_by_trigger counts attempts; a launch that finds no
-        # free context is dropped instead of launched.
         check.expect_eq(
             sum(stats.launches_by_trigger.values()),
-            stats.pthread_launches + stats.pthread_drops,
+            stats.pthread_launches,
             f"{label}_launch_totals",
-            "per-trigger launch attempts vs launches+drops",
+            "per-trigger launches vs pthread_launches",
+        )
+        check.expect_eq(
+            sum(stats.drops_by_trigger.values()),
+            stats.pthread_drops,
+            f"{label}_drop_totals",
+            "per-trigger drops vs pthread_drops",
+        )
+        # Every attempt is exactly one launch or one drop, per trigger.
+        attempts = {
+            pc: stats.launches_by_trigger.get(pc, 0)
+            + stats.drops_by_trigger.get(pc, 0)
+            for pc in set(stats.launches_by_trigger)
+            | set(stats.drops_by_trigger)
+        }
+        check.expect_eq(
+            sum(attempts.values()),
+            stats.pthread_launches + stats.pthread_drops,
+            f"{label}_attempt_totals",
+            "per-trigger attempts (launches+drops) vs totals",
         )
     else:
         check.expect(

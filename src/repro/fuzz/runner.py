@@ -3,8 +3,10 @@
 A campaign is a seed range: for each seed it generates a workload,
 runs the differential oracle, and (optionally) shrinks any failure
 into a corpus reproducer.  Verdicts are a pure function of the seed
-list — wall-clock only decides *how many* seeds a time-budgeted
-campaign reaches, never what any seed reports.
+list — wall-clock only decides *how many* seeds (and, for the seed
+that hits the budget, how many check families) a time-budgeted
+campaign reaches; every family that did run reports exactly what an
+unbudgeted run would.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 from repro.fuzz.generator import generate
 from repro.fuzz.oracle import CHECK_FAMILIES, run_oracle
 from repro.fuzz.shrink import shrink, write_reproducer
+from repro.obs import get_tracer
 
 
 def run_campaign(
@@ -34,9 +37,11 @@ def run_campaign(
         base_seed: first seed of the range.
         shape: fix every workload to one generator shape, or ``None``
             to let each seed pick.
-        budget_seconds: optional wall-clock budget; the campaign stops
-            *between* seeds once exceeded (never mid-seed, so each
-            finished seed's verdict is complete and reproducible).
+        budget_seconds: optional wall-clock budget.  Checked between
+            seeds, and also passed into the oracle as a per-seed soft
+            deadline so one pathological seed cannot blow the budget
+            unbounded: the oracle stops between check families, marks
+            the report ``budget_exceeded``, and the campaign ends.
         do_shrink: minimize failures and persist reproducers.
         corpus_dir: where reproducers are written.
         max_instructions: per-simulation instruction cap.
@@ -44,38 +49,60 @@ def run_campaign(
     """
     emit = log or (lambda message: None)
     start = time.monotonic()
+    deadline = start + budget_seconds if budget_seconds is not None else None
+    tracer = get_tracer()
     reports: List[Dict] = []
     reproducers: List[str] = []
     failed = 0
     seeds_run = 0
+    budget_exceeded = False
 
-    for seed in range(base_seed, base_seed + seeds):
-        if budget_seconds is not None and seeds_run:
-            if time.monotonic() - start >= budget_seconds:
+    with tracer.span(
+        "fuzz", base_seed=base_seed, seeds=seeds, shape=shape or "any"
+    ):
+        for seed in range(base_seed, base_seed + seeds):
+            if deadline is not None and seeds_run:
+                if time.monotonic() >= deadline:
+                    budget_exceeded = True
+                    emit(
+                        f"budget exhausted after {seeds_run}/{seeds} seed(s)"
+                    )
+                    break
+            workload = generate(seed, shape)
+            with tracer.span("seed", seed=seed, shape=workload.shape):
+                report = run_oracle(
+                    workload,
+                    max_instructions=max_instructions,
+                    deadline=deadline,
+                )
+            seeds_run += 1
+            reports.append(report.to_dict())
+            if report.budget_exceeded:
+                budget_exceeded = True
+            if report.ok:
+                emit(f"{workload.name}: ok")
+            else:
+                failed += 1
+                emit(report.render())
+                if do_shrink:
+                    with tracer.span("shrink", seed=seed):
+                        result = shrink(
+                            workload, report, max_instructions=max_instructions
+                        )
+                        path = write_reproducer(result, corpus_dir)
+                    reproducers.append(str(path))
+                    emit(
+                        f"  shrunk {result.original_lines} -> "
+                        f"{result.shrunk_lines} line(s) in "
+                        f"{result.evaluations} oracle run(s): {path}"
+                    )
+            if report.budget_exceeded:
                 emit(
-                    f"budget exhausted after {seeds_run}/{seeds} seed(s)"
+                    f"budget exhausted inside seed {seed} after "
+                    f"{len(report.families_run)}/{len(CHECK_FAMILIES)} "
+                    "check family(ies)"
                 )
                 break
-        workload = generate(seed, shape)
-        report = run_oracle(workload, max_instructions=max_instructions)
-        seeds_run += 1
-        reports.append(report.to_dict())
-        if report.ok:
-            emit(f"{workload.name}: ok")
-            continue
-        failed += 1
-        emit(report.render())
-        if do_shrink:
-            result = shrink(
-                workload, report, max_instructions=max_instructions
-            )
-            path = write_reproducer(result, corpus_dir)
-            reproducers.append(str(path))
-            emit(
-                f"  shrunk {result.original_lines} -> "
-                f"{result.shrunk_lines} line(s) in "
-                f"{result.evaluations} oracle run(s): {path}"
-            )
 
     return {
         "base_seed": base_seed,
@@ -88,5 +115,6 @@ def run_campaign(
         "failed": failed,
         "reports": reports,
         "reproducers": reproducers,
+        "budget_exceeded": budget_exceeded,
         "elapsed_seconds": round(time.monotonic() - start, 3),
     }

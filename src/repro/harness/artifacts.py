@@ -195,6 +195,24 @@ class PerfCounters:
 
         return render_perf(self, title=title)
 
+    def publish_metrics(self, registry) -> None:
+        """Fold these counters into a metrics registry.
+
+        PerfCounters stays the picklable accumulation vehicle (workers
+        ship deltas; the executor merges); the registry is the single
+        export surface.  Totals land under ``harness.cache.*``, the
+        per-stage breakdown under ``harness.stage.<stage>.*``.
+        """
+        registry.counter("harness.cache.hits").inc(sum(self.hits.values()))
+        registry.counter("harness.cache.disk_hits").inc(
+            sum(self.disk_hits.values())
+        )
+        registry.counter("harness.cache.misses").inc(sum(self.misses.values()))
+        for stage, seconds in self.stage_seconds.items():
+            registry.gauge(f"harness.stage.{stage}.seconds").set(seconds)
+        for stage, count in self.instructions.items():
+            registry.counter(f"harness.stage.{stage}.instructions").inc(count)
+
 
 class ArtifactCache:
     """On-disk content-addressed store for harness stage outputs.
@@ -301,6 +319,13 @@ class ArtifactCache:
             for path in self.root.rglob("*")
             if path.is_file()
         )
+
+    def publish_metrics(self, registry) -> None:
+        """Set the cache-size gauges (``harness.cache.entries/bytes``)."""
+        registry.gauge("harness.cache.entries").set(
+            sum(self.entry_count().values())
+        )
+        registry.gauge("harness.cache.bytes").set(self.size_bytes())
 
     def clear(self) -> int:
         """Delete every stored artifact; returns the number removed."""

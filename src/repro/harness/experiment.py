@@ -31,6 +31,7 @@ from repro.harness.artifacts import (
 )
 from repro.memory.hierarchy import HierarchyConfig
 from repro.model.params import ModelParams, SelectionConstraints
+from repro.obs import get_tracer
 from repro.selection.granularity import select_by_region
 from repro.selection.program_selector import ProgramSelection, select_pthreads
 from repro.timing.config import (
@@ -319,14 +320,17 @@ class ExperimentRunner:
         if selection is None:
             self.perf.miss("selection")
             start = time.perf_counter()
-            selection = select_pthreads(
-                profile_workload.program,
-                profile_trace.trace,
-                params,
-                constraints=constraints,
-                region=region,
-                lmem_overrides=lmem_overrides,
-            )
+            with get_tracer().span(
+                "slice+select", workload=profile_workload.name
+            ):
+                selection = select_pthreads(
+                    profile_workload.program,
+                    profile_trace.trace,
+                    params,
+                    constraints=constraints,
+                    region=region,
+                    lmem_overrides=lmem_overrides,
+                )
             self.perf.add_time("selection", time.perf_counter() - start)
             if self.artifacts is not None:
                 self.artifacts.store("selection", key, selection)
@@ -357,27 +361,43 @@ class ExperimentRunner:
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Execute one experiment cell end to end."""
         timings: Dict[str, float] = {}
+        tracer = get_tracer()
+        with tracer.span(
+            "experiment", workload=config.workload, input=config.input_name
+        ):
+            return self._run_traced(config, timings, tracer)
+
+    def _run_traced(
+        self,
+        config: ExperimentConfig,
+        timings: Dict[str, float],
+        tracer,
+    ) -> ExperimentResult:
         workload = self.workload(
             config.workload, config.input_name, config.hierarchy
         )
-        start = time.perf_counter()
-        functional = self.trace(workload)
-        timings["trace"] = time.perf_counter() - start
-        start = time.perf_counter()
-        base = self.baseline(workload, config.machine)
-        timings["baseline"] = time.perf_counter() - start
+        with tracer.span("trace") as trace_span:
+            functional = self.trace(workload)
+        timings["trace"] = trace_span.duration
+        with tracer.span("baseline") as base_span:
+            base = self.baseline(workload, config.machine)
+        timings["baseline"] = base_span.duration
 
         # --- selection statistics may come from a different profile ---
         if config.selection_input is not None:
             profile_workload = self.workload(
                 config.workload, config.selection_input, config.hierarchy
             )
-            start = time.perf_counter()
-            profile_trace = self.trace(profile_workload)
-            timings["trace"] += time.perf_counter() - start
-            start = time.perf_counter()
-            profile_base = self.baseline(profile_workload, config.machine)
-            timings["baseline"] += time.perf_counter() - start
+            with tracer.span(
+                "trace", profile=config.selection_input
+            ) as trace_span:
+                profile_trace = self.trace(profile_workload)
+            timings["trace"] += trace_span.duration
+            with tracer.span(
+                "baseline", profile=config.selection_input
+            ) as base_span:
+                profile_base = self.baseline(profile_workload, config.machine)
+            timings["baseline"] += base_span.duration
             profile_ipc = profile_base.ipc
         else:
             profile_workload = workload
@@ -387,43 +407,47 @@ class ExperimentRunner:
 
         schedule: Optional[Schedule] = None
         num_regions = 1
-        start = time.perf_counter()
-        if config.granularity is not None:
-            # Region-specialized selection stays uncached: its output (a
-            # per-region activation schedule) is not content-addressable
-            # by the same small key, and Figure 6 is the only user.
-            self.perf.miss("selection")
-            granular = select_by_region(
-                profile_workload.program,
-                profile_trace.trace,
-                params,
-                region_size=config.granularity,
-                constraints=config.constraints,
-            )
-            schedule = granular.schedule()
-            num_regions = len(granular.regions)
-            # Report the aggregate of the region selections.
-            selection = _aggregate_regions(granular, params, config.constraints)
-            self.perf.add_time("selection", time.perf_counter() - start)
-        else:
-            region = None
-            if config.selection_prefix is not None:
-                region = (0, config.selection_prefix)
-            lmem_overrides = None
-            if config.effective_latency:
-                lmem_overrides = {
-                    pc: base.effective_latency(pc, params.mem_latency)
-                    for pc in base.miss_exposure
-                }
-            selection = self._cached_selection(
-                profile_workload,
-                profile_trace,
-                params,
-                config.constraints,
-                region,
-                lmem_overrides,
-            )
-        timings["selection"] = time.perf_counter() - start
+        with tracer.span("selection") as selection_span:
+            if config.granularity is not None:
+                # Region-specialized selection stays uncached: its output
+                # (a per-region activation schedule) is not content-
+                # addressable by the same small key, and Figure 6 is the
+                # only user.
+                self.perf.miss("selection")
+                start = time.perf_counter()
+                granular = select_by_region(
+                    profile_workload.program,
+                    profile_trace.trace,
+                    params,
+                    region_size=config.granularity,
+                    constraints=config.constraints,
+                )
+                schedule = granular.schedule()
+                num_regions = len(granular.regions)
+                # Report the aggregate of the region selections.
+                selection = _aggregate_regions(
+                    granular, params, config.constraints
+                )
+                self.perf.add_time("selection", time.perf_counter() - start)
+            else:
+                region = None
+                if config.selection_prefix is not None:
+                    region = (0, config.selection_prefix)
+                lmem_overrides = None
+                if config.effective_latency:
+                    lmem_overrides = {
+                        pc: base.effective_latency(pc, params.mem_latency)
+                        for pc in base.miss_exposure
+                    }
+                selection = self._cached_selection(
+                    profile_workload,
+                    profile_trace,
+                    params,
+                    config.constraints,
+                    region,
+                    lmem_overrides,
+                )
+        timings["selection"] = selection_span.duration
 
         if config.verify or verification_enabled():
             # Covers cache-loaded selections, which the in-pipeline
@@ -457,9 +481,9 @@ class ExperimentRunner:
                 )
             return sim.run(mode, max_instructions=self.max_instructions)
 
-        start = time.perf_counter()
-        preexec = simulate(PRE_EXECUTION)
-        elapsed = time.perf_counter() - start
+        with tracer.span("timing") as timing_span:
+            preexec = simulate(PRE_EXECUTION)
+        elapsed = timing_span.duration
         timings["timing"] = elapsed
         self.perf.miss("timing")
         self.perf.add_time("timing", elapsed)
@@ -468,16 +492,19 @@ class ExperimentRunner:
         )
         validation: Dict[str, SimStats] = {}
         if config.validate:
-            start = time.perf_counter()
-            validation["overhead_execute"] = simulate(OVERHEAD_EXECUTE)
-            validation["overhead_sequence"] = simulate(OVERHEAD_SEQUENCE)
-            validation["latency_only"] = simulate(LATENCY_ONLY)
-            elapsed = time.perf_counter() - start
+            with tracer.span("validation") as validation_span:
+                validation["overhead_execute"] = simulate(OVERHEAD_EXECUTE)
+                validation["overhead_sequence"] = simulate(OVERHEAD_SEQUENCE)
+                validation["latency_only"] = simulate(LATENCY_ONLY)
+            elapsed = validation_span.duration
             timings["validation"] = elapsed
             self.perf.miss("validation")
             self.perf.add_time("validation", elapsed)
             # perfect_l2 times/counts itself (it has its own cache).
-            validation["perfect_l2"] = self.perfect_l2(workload, config.machine)
+            with tracer.span("validation", kind="perfect_l2"):
+                validation["perfect_l2"] = self.perfect_l2(
+                    workload, config.machine
+                )
 
         return ExperimentResult(
             config=config,

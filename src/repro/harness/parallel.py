@@ -37,6 +37,7 @@ from repro.harness.experiment import (
     ExperimentResult,
     ExperimentRunner,
 )
+from repro.obs import get_registry, get_tracer, reset_registry, reset_tracer
 
 
 @dataclass
@@ -96,7 +97,11 @@ def _init_worker(max_instructions: int, cache_root: Optional[str]) -> None:
 def _run_cell(indexed_config):
     """Execute one cell in a worker; never raises.
 
-    Returns ``(index, result_or_None, traceback_or_None, perf_delta)``.
+    Returns ``(index, result_or_None, traceback_or_None, perf_delta,
+    obs_payload)``.  ``obs_payload`` carries the cell's span subtree
+    (durations only, so no cross-process clock alignment is needed) and
+    the worker registry's metric delta; the executor attaches/merges
+    both so the coordinator's telemetry covers every worker.
     Exceptions are formatted in the worker so unpicklable exception
     types cannot poison the pool.
     """
@@ -105,11 +110,21 @@ def _run_cell(indexed_config):
     if runner is None:  # direct call outside a pool (tests)
         raise RuntimeError("worker runner not initialized")
     before = runner.perf.snapshot()
+    # Fresh per-cell telemetry: the span tree and metric snapshot this
+    # cell ships back must not include earlier cells this worker ran.
+    tracer = reset_tracer()
+    registry = reset_registry()
     try:
         result = runner.run(config)
-        return index, result, None, runner.perf.since(before)
+        error = None
     except Exception:
-        return index, None, traceback.format_exc(), runner.perf.since(before)
+        result = None
+        error = traceback.format_exc()
+    obs_payload = {
+        "spans": tracer.to_dict()["spans"],
+        "metrics": registry.snapshot(),
+    }
+    return index, result, error, runner.perf.since(before), obs_payload
 
 
 class SweepExecutor:
@@ -159,18 +174,30 @@ class SweepExecutor:
         if not configs:
             return []
         if self.jobs == 1 or len(configs) == 1:
-            return [self._run_serial(config) for config in configs]
+            # Serial cells run on the shared runner, so their spans nest
+            # under the coordinator's tracer directly.
+            with get_tracer().span("sweep", cells=len(configs), jobs=1):
+                return [self._run_serial(config) for config in configs]
         outcomes: List[Union[ExperimentResult, CellError]] = [None] * len(configs)  # type: ignore[list-item]
         cache_root = str(self.artifacts.root) if self.artifacts else None
+        tracer = get_tracer()
+        registry = get_registry()
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(configs)),
             initializer=_init_worker,
             initargs=(self.runner.max_instructions, cache_root),
-        ) as pool:
-            for index, result, error, perf_delta in pool.map(
+        ) as pool, tracer.span(
+            "sweep", cells=len(configs), jobs=min(self.jobs, len(configs))
+        ):
+            # pool.map yields in input order, so attached cell spans are
+            # deterministic no matter which worker finished first.
+            for index, result, error, perf_delta, obs_payload in pool.map(
                 _run_cell, enumerate(configs)
             ):
                 self.runner.perf.merge(perf_delta)
+                for span in tracer.attach(obs_payload):
+                    span.meta.setdefault("cell", index)
+                registry.merge_snapshot(obs_payload["metrics"])
                 if error is not None:
                     outcomes[index] = CellError(config=configs[index], error=error)
                 else:

@@ -106,6 +106,28 @@ def render_perf(perf, title: str = "Harness performance") -> str:
     )
 
 
+def publish_harness_metrics(perf, artifacts=None, registry=None):
+    """Bridge harness telemetry into the metrics registry.
+
+    Folds a :class:`~repro.harness.artifacts.PerfCounters` (and, when
+    present, the :class:`~repro.harness.artifacts.ArtifactCache` size
+    gauges) into ``registry`` — the step that turns the harness's
+    accumulation objects into the single exportable snapshot.  With no
+    persistent cache the size gauges are registered at zero so the
+    metric names stay stable either way.  Returns the registry.
+    """
+    from repro.obs import get_registry
+
+    registry = registry if registry is not None else get_registry()
+    perf.publish_metrics(registry)
+    if artifacts is not None:
+        artifacts.publish_metrics(registry)
+    else:
+        registry.gauge("harness.cache.entries").set(0)
+        registry.gauge("harness.cache.bytes").set(0)
+    return registry
+
+
 def render_series(
     title: str,
     group_labels: Sequence[str],

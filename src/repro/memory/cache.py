@@ -208,6 +208,14 @@ class Cache:
         self.misses = 0
         self.writebacks = 0
 
+    def publish_metrics(self, registry, prefix: str) -> None:
+        """Fold this cache's counters into a metrics registry under
+        ``prefix`` (e.g. ``functional.l1``).  Called at run boundaries,
+        never from the lookup fast path."""
+        registry.counter(f"{prefix}.accesses").inc(self.accesses)
+        registry.counter(f"{prefix}.misses").inc(self.misses)
+        registry.counter(f"{prefix}.writebacks").inc(self.writebacks)
+
     def resident_lines(self) -> int:
         """Number of lines currently resident (for tests)."""
         return sum(1 for tag in self._tags if tag is not None)

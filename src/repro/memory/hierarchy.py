@@ -381,3 +381,27 @@ class TimedHierarchy:
     def unclaimed_prefetches(self) -> int:
         """P-thread-fetched lines never touched by the main thread."""
         return len(self._pt_lines)
+
+    def publish_metrics(self, registry) -> None:
+        """Fold this hierarchy's counters into a metrics registry.
+
+        Called once at the end of a timing run (see
+        ``TimingSimulator._publish_metrics``), never from the access
+        fast path.  Names belong to the stable catalog in
+        :mod:`repro.obs.export`.
+        """
+        registry.counter("memory.mt.accesses").inc(self.mt_accesses)
+        registry.counter("memory.mt.l2_misses").inc(self.mt_l2_misses)
+        registry.counter("memory.pt.accesses").inc(self.pt_accesses)
+        registry.counter("memory.pt.l2_misses").inc(self.pt_l2_misses)
+        registry.counter("memory.prefetch.evicted").inc(self.evicted_prefetches)
+        registry.counter("memory.prefetch.unclaimed").inc(
+            self.unclaimed_prefetches()
+        )
+        mshrs = self.mshrs
+        registry.counter("memory.l2.mshr.allocations").inc(mshrs.allocations)
+        registry.counter("memory.l2.mshr.merges").inc(mshrs.merges)
+        registry.counter("memory.l2.mshr.full_stalls").inc(mshrs.full_stalls)
+        occupancy = registry.histogram("memory.l2.mshr_occupancy")
+        for depth, count in mshrs.occupancy_samples.items():
+            occupancy.observe(depth, count)

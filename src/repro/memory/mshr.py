@@ -30,6 +30,11 @@ class MshrFile:
         self.allocations = 0
         self.merges = 0
         self.full_stalls = 0
+        # Occupancy (entries in flight, including the new one) sampled
+        # at each allocation: occupancy -> count.  Allocations happen
+        # only on L2 misses, so this costs one dict update per miss and
+        # backs the memory.l2.mshr_occupancy histogram.
+        self.occupancy_samples: Dict[int, int] = {}
 
     def _expire(self, now: int) -> None:
         if self._outstanding:
@@ -66,6 +71,10 @@ class MshrFile:
                 oldest = min(self._outstanding, key=self._outstanding.get)
                 del self._outstanding[oldest]
         self.allocations += 1
+        occupancy = len(self._outstanding) + 1
+        self.occupancy_samples[occupancy] = (
+            self.occupancy_samples.get(occupancy, 0) + 1
+        )
         self._outstanding[line] = ready + delay
         return ready + delay
 
@@ -79,3 +88,4 @@ class MshrFile:
         self.allocations = 0
         self.merges = 0
         self.full_stalls = 0
+        self.occupancy_samples.clear()

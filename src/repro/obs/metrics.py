@@ -1,0 +1,221 @@
+"""Typed metrics registry: counters, gauges, histograms with dotted names.
+
+Metric names are stable, dotted identifiers (``timing.pthread.launches``,
+``memory.l2.mshr_occupancy``) that downstream tooling may rely on; the
+catalog in :mod:`repro.obs.export` pins name -> type so CI can flag a
+metric silently disappearing or changing kind.
+
+Instruments are get-or-create: calling ``registry.counter(name)`` twice
+returns the same object, and asking for an existing name with a different
+type raises.  Hot simulator loops never touch the registry per event —
+subsystems accumulate into their own plain-int fields and *publish* totals
+once at end of run, so instrumentation cost stays out of the inner loops.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Point-in-time numeric metric (may go up or down)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += float(amount)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus style: counts are per
+    upper bound ``le``, plus an implicit +Inf bucket)."""
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "bounds", "counts", "count", "total")
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: bucket bounds must be sorted")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        self.counts[bisect_left(self.bounds, value)] += weight
+        self.count += weight
+        self.total += value * weight
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Registry of named instruments with snapshot / diff / merge."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-data view of every instrument, keyed by metric name."""
+        return {name: metric.to_dict() for name, metric in sorted(self._metrics.items())}
+
+    @staticmethod
+    def diff(
+        before: Dict[str, Dict[str, Any]], after: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Counter/histogram deltas between two snapshots.
+
+        Gauges are point-in-time: the diff carries the ``after`` value.
+        Metrics absent from ``before`` diff against zero.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, entry in after.items():
+            prior = before.get(name)
+            kind = entry["type"]
+            if kind == "counter":
+                base = prior["value"] if prior else 0
+                out[name] = {"type": kind, "value": entry["value"] - base}
+            elif kind == "gauge":
+                out[name] = {"type": kind, "value": entry["value"]}
+            else:  # histogram
+                base_counts = prior["counts"] if prior else [0] * len(entry["counts"])
+                base_count = prior["count"] if prior else 0
+                base_sum = prior["sum"] if prior else 0.0
+                out[name] = {
+                    "type": kind,
+                    "buckets": list(entry["buckets"]),
+                    "counts": [c - b for c, b in zip(entry["counts"], base_counts)],
+                    "count": entry["count"] - base_count,
+                    "sum": entry["sum"] - base_sum,
+                }
+        return out
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a snapshot (typically a worker's diff) into this registry.
+
+        Counters and histograms accumulate; gauges take the incoming value.
+        """
+        for name, entry in snapshot.items():
+            kind = entry["type"]
+            if kind == "counter":
+                self.counter(name).inc(int(entry["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, buckets=entry["buckets"])
+                if list(hist.bounds) != list(entry["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r}: bucket mismatch on merge "
+                        f"({list(hist.bounds)} vs {entry['buckets']})"
+                    )
+                for index, value in enumerate(entry["counts"]):
+                    hist.counts[index] += int(value)
+                hist.count += int(entry["count"])
+                hist.total += float(entry["sum"])
+            else:
+                raise ValueError(f"metric {name!r}: unknown type {kind!r}")
+
+
+# Process-global registry, mirroring the tracer: instrumented subsystems
+# publish into get_registry() so call signatures stay unchanged, and
+# worker processes reset it per cell to compute clean diffs.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install and return a fresh registry (start of a run / worker cell)."""
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry

@@ -65,6 +65,7 @@ from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS
 from repro.memory.hierarchy import HierarchyConfig, TimedHierarchy
 from repro.memory.main_memory import MainMemory
+from repro.obs import get_registry as obs_registry
 from repro.pthreads.pthread import StaticPThread
 from repro.timing.config import BASELINE, MachineConfig, SimMode
 from repro.timing.stats import SimStats
@@ -401,7 +402,40 @@ class TimingSimulator:
         )
         self.last_registers = list(st.regs)
         self.last_memory = memory
+        self._publish_metrics(stats, hierarchy)
         return stats
+
+    @staticmethod
+    def _publish_metrics(stats: SimStats, hierarchy: TimedHierarchy) -> None:
+        """Fold this run's totals into the global metrics registry.
+
+        Published once per run (never from the hot loop); names are part
+        of the stable catalog in :mod:`repro.obs.export`.
+        """
+        registry = obs_registry()
+        registry.counter("timing.runs").inc()
+        registry.counter("timing.instructions").inc(stats.instructions)
+        registry.counter("timing.cycles").inc(stats.cycles)
+        registry.counter("timing.l1.misses").inc(stats.l1_misses)
+        registry.counter("timing.l2.misses").inc(stats.l2_misses)
+        registry.counter("timing.l2.covered_full").inc(stats.misses_fully_covered)
+        registry.counter("timing.l2.covered_partial").inc(
+            stats.misses_partially_covered
+        )
+        registry.counter("timing.branch.mispredictions").inc(stats.mispredictions)
+        registry.counter("timing.branch.mispredicts_covered").inc(
+            stats.mispredicts_covered
+        )
+        registry.counter("timing.pthread.attempts").inc(
+            stats.pthread_launches + stats.pthread_drops
+        )
+        registry.counter("timing.pthread.launches").inc(stats.pthread_launches)
+        registry.counter("timing.pthread.drops").inc(stats.pthread_drops)
+        registry.counter("timing.pthread.instructions").inc(
+            stats.pthread_instructions
+        )
+        registry.counter("timing.pthread.l2_misses").inc(stats.pthread_l2_misses)
+        hierarchy.publish_metrics(registry)
 
     # ------------------------------------------------------------------
 
@@ -588,7 +622,14 @@ class TimingSimulator:
                 if disp > ready:
                     ready = disp
                 complete = ready + 1
-                mt_access(addr, complete, True)
+                # Stores complete independent of the memory access (the
+                # write drains in the background) but still probe the
+                # hierarchy — count their L1 misses like load misses so
+                # stats.l1_misses covers every access, matching the
+                # functional model and the l2 <= l1 invariant.
+                level, _ = mt_access(addr, complete, True)
+                if level != 1:
+                    stats.l1_misses += 1
                 _store_queue_put(
                     store_queue,
                     addr,
@@ -858,9 +899,6 @@ class TimingSimulator:
         """Launch one dynamic p-thread at ``launch_time``."""
         body = self._decoded_bodies[id(pthread)]
         trigger = pthread.trigger_pc
-        stats.launches_by_trigger[trigger] = (
-            stats.launches_by_trigger.get(trigger, 0) + 1
-        )
 
         # Context allocation: drop the launch if none is free.
         slot = -1
@@ -870,9 +908,15 @@ class TimingSimulator:
                 break
         if slot < 0:
             stats.pthread_drops += 1
+            stats.drops_by_trigger[trigger] = (
+                stats.drops_by_trigger.get(trigger, 0) + 1
+            )
             return
         contexts[slot] = launch_time + body.last_burst_offset + 1
         stats.pthread_launches += 1
+        stats.launches_by_trigger[trigger] = (
+            stats.launches_by_trigger.get(trigger, 0) + 1
+        )
         stats.pthread_instructions += body.size
 
         if mode.steal:

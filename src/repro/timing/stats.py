@@ -41,7 +41,11 @@ class SimStats:
     pthread_drops: int = 0
     pthread_instructions: int = 0
     pthread_l2_misses: int = 0
+    #: Per trigger PC: *actual* launches (a context was free).  Dropped
+    #: attempts are tallied separately in :attr:`drops_by_trigger`; the
+    #: per-trigger attempt count is the sum of the two.
     launches_by_trigger: Dict[int, int] = field(default_factory=dict)
+    drops_by_trigger: Dict[int, int] = field(default_factory=dict)
     #: Per static load PC: [miss count, exposed stall cycles].  The
     #: exposed cycles are a critical-path estimate: how far each miss's
     #: completion reached past the in-order retirement frontier.  Used
@@ -150,6 +154,10 @@ class SimStats:
                 str(pc): count
                 for pc, count in sorted(self.launches_by_trigger.items())
             },
+            "drops_by_trigger": {
+                str(pc): count
+                for pc, count in sorted(self.drops_by_trigger.items())
+            },
             "miss_exposure": {
                 str(pc): list(entry)
                 for pc, entry in sorted(self.miss_exposure.items())
@@ -161,10 +169,14 @@ class SimStats:
         """Rebuild from :meth:`to_dict` output."""
         fields_ = dict(data)
         launches = fields_.pop("launches_by_trigger", {})
+        drops = fields_.pop("drops_by_trigger", {})
         exposure = fields_.pop("miss_exposure", {})
         stats = cls(**fields_)
         stats.launches_by_trigger = {
             int(pc): int(count) for pc, count in launches.items()
+        }
+        stats.drops_by_trigger = {
+            int(pc): int(count) for pc, count in drops.items()
         }
         stats.miss_exposure = {
             int(pc): list(entry) for pc, entry in exposure.items()

@@ -180,6 +180,77 @@ class TestFuzzCommand:
         assert "ok" in capsys.readouterr().out
 
 
+class TestObservability:
+    def test_trace_and_metrics_flags_export(
+        self, capsys, hermetic_cli, tmp_path
+    ):
+        trace = tmp_path / "trace_pipeline.json"
+        metrics = tmp_path / "metrics_snapshot.json"
+        assert (
+            main(
+                [
+                    "run", "pharmacy",
+                    "--trace", str(trace),
+                    "--metrics", str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        names = [span["name"] for span in doc["spans"]]
+        assert "experiment" in names
+        snap = json.loads(metrics.read_text())
+        launches = snap["metrics"]["timing.pthread.launches"]["value"]
+        drops = snap["metrics"]["timing.pthread.drops"]["value"]
+        assert (
+            snap["metrics"]["timing.pthread.attempts"]["value"]
+            == launches + drops
+        )
+
+    def test_obs_check_passes_on_pipeline_snapshot(
+        self, capsys, hermetic_cli, tmp_path
+    ):
+        metrics = tmp_path / "metrics_snapshot.json"
+        assert main(["run", "pharmacy", "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "check", "--input", str(metrics)]) == 0
+        assert "catalog intact" in capsys.readouterr().out
+
+    def test_obs_check_fails_on_missing_catalog_metric(
+        self, capsys, hermetic_cli, tmp_path
+    ):
+        metrics = tmp_path / "metrics_snapshot.json"
+        assert main(["run", "pharmacy", "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        doc = json.loads(metrics.read_text())
+        del doc["metrics"]["timing.pthread.drops"]
+        metrics.write_text(json.dumps(doc))
+        assert main(["obs", "check", "--input", str(metrics)]) == 1
+        assert "timing.pthread.drops" in capsys.readouterr().err
+
+    def test_obs_report_from_snapshot(self, capsys, hermetic_cli, tmp_path):
+        metrics = tmp_path / "metrics_snapshot.json"
+        assert main(["run", "pharmacy", "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--input", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "timing.pthread.launches" in out
+        assert main(
+            ["obs", "report", "--input", str(metrics), "--format", "prom"]
+        ) == 0
+        assert "timing_pthread_launches" in capsys.readouterr().out
+
+    def test_fuzz_accepts_trace_flag(self, capsys, tmp_path):
+        trace = tmp_path / "fuzz_trace.json"
+        assert main(["fuzz", "--seeds", "1", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        (fuzz,) = doc["spans"]
+        assert fuzz["name"] == "fuzz"
+        assert [c["name"] for c in fuzz["children"]] == ["seed"]
+
+
 class TestCacheCommand:
     def test_info_and_clear(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

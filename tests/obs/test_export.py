@@ -1,0 +1,127 @@
+"""Snapshot document schema, Prometheus exposition, catalog check."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    METRIC_CATALOG,
+    SNAPSHOT_SCHEMA_VERSION,
+    MetricsRegistry,
+    check_snapshot,
+    load_snapshot,
+    render_report,
+    snapshot_document,
+    to_prometheus,
+    write_snapshot,
+)
+
+
+def _registry_with_catalog():
+    """A registry holding every catalog metric (as a CI run would)."""
+    registry = MetricsRegistry()
+    for name, kind in METRIC_CATALOG.items():
+        if kind == "counter":
+            registry.counter(name).inc(1)
+        elif kind == "gauge":
+            registry.gauge(name).set(1)
+        else:
+            registry.histogram(name).observe(1)
+    return registry
+
+
+def test_snapshot_document_shape():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    doc = snapshot_document(registry)
+    assert doc["schema"] == SNAPSHOT_SCHEMA_VERSION
+    assert doc["metrics"]["c"] == {"type": "counter", "value": 2}
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    registry = MetricsRegistry()
+    registry.gauge("g").set(3.5)
+    path = tmp_path / "results" / "metrics_snapshot.json"
+    written = write_snapshot(path, registry)
+    loaded = load_snapshot(path)
+    assert loaded == written
+    assert loaded["metrics"]["g"]["value"] == 3.5
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps({"schema": 999, "metrics": {}}))
+    with pytest.raises(ValueError):
+        load_snapshot(path)
+
+
+def test_prometheus_counter_gauge_names():
+    registry = MetricsRegistry()
+    registry.counter("timing.pthread.launches").inc(12)
+    registry.gauge("harness.cache.bytes").set(42)
+    text = to_prometheus(registry.snapshot())
+    assert "# TYPE timing_pthread_launches counter" in text
+    assert "timing_pthread_launches 12" in text
+    assert "harness_cache_bytes 42.0" in text
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    hist = registry.histogram("occ", buckets=(1, 2))
+    hist.observe(1, weight=3)   # le=1
+    hist.observe(2, weight=2)   # le=2
+    hist.observe(9)             # +Inf
+    text = to_prometheus(registry.snapshot())
+    assert 'occ_bucket{le="1"} 3' in text
+    assert 'occ_bucket{le="2"} 5' in text
+    assert 'occ_bucket{le="+Inf"} 6' in text
+    assert "occ_count 6" in text
+    assert "occ_sum 16.0" in text
+
+
+def test_render_report_lists_every_metric():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(7)
+    registry.histogram("h", buckets=(4,)).observe(2, weight=3)
+    text = render_report(registry.snapshot())
+    assert "c" in text and "counter" in text and "7" in text
+    assert "count=3" in text and "mean=2.00" in text
+    assert render_report({}) == "(no metrics registered)"
+
+
+def test_check_snapshot_passes_on_full_catalog():
+    doc = snapshot_document(_registry_with_catalog())
+    assert check_snapshot(doc) == []
+
+
+def test_check_snapshot_flags_missing_catalog_metric():
+    registry = _registry_with_catalog()
+    snap = registry.snapshot()
+    del snap["timing.pthread.drops"]
+    problems = check_snapshot({"schema": 1, "metrics": snap})
+    assert any("timing.pthread.drops" in p for p in problems)
+
+
+def test_check_snapshot_flags_type_change():
+    registry = _registry_with_catalog()
+    snap = registry.snapshot()
+    snap["timing.pthread.launches"] = {"type": "gauge", "value": 1.0}
+    problems = check_snapshot({"schema": 1, "metrics": snap})
+    assert any(
+        "timing.pthread.launches" in p and "type changed" in p
+        for p in problems
+    )
+
+
+def test_check_snapshot_allows_extra_names():
+    registry = _registry_with_catalog()
+    registry.counter("experimental.new.metric").inc()
+    assert check_snapshot(snapshot_document(registry)) == []
+
+
+def test_catalog_split_counters_present():
+    """The launches/drops split this PR introduces is pinned by name."""
+    assert METRIC_CATALOG["timing.pthread.attempts"] == "counter"
+    assert METRIC_CATALOG["timing.pthread.launches"] == "counter"
+    assert METRIC_CATALOG["timing.pthread.drops"] == "counter"
+    assert METRIC_CATALOG["memory.l2.mshr_occupancy"] == "histogram"

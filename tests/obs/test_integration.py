@@ -1,0 +1,126 @@
+"""End-to-end observability: real pipeline runs populate the registry,
+sweep workers ship spans/metrics back, and the exported snapshot passes
+the catalog schema check."""
+
+import pytest
+
+from repro.harness.artifacts import ArtifactCache
+from repro.harness.experiment import ExperimentConfig, ExperimentRunner
+from repro.harness.parallel import SweepExecutor
+from repro.harness.report import publish_harness_metrics
+from repro.model.params import SelectionConstraints
+from repro.obs import (
+    check_snapshot,
+    get_registry,
+    get_tracer,
+    load_snapshot,
+    reset_registry,
+    reset_tracer,
+    write_snapshot,
+)
+from repro.workloads.suite import build
+
+SMALL_PHARMACY = dict(
+    n_xact=500, n_drugs=8192, hot_drugs=512, hot_fraction=0.45, seed=11
+)
+
+PIPELINE_STAGES = ("trace", "baseline", "selection", "timing")
+
+
+@pytest.fixture
+def small_inputs(monkeypatch):
+    """Shrink the pharmacy build everywhere — including fork workers."""
+    from repro.workloads import pharmacy
+
+    monkeypatch.setitem(pharmacy.INPUTS, "train", dict(SMALL_PHARMACY))
+
+
+@pytest.fixture
+def fresh_obs():
+    """Fresh global tracer/registry for the test, restored afterwards."""
+    from repro.obs import set_registry, set_tracer
+
+    old_tracer = get_tracer()
+    old_registry = get_registry()
+    tracer = reset_tracer()
+    registry = reset_registry()
+    yield tracer, registry
+    set_tracer(old_tracer)
+    set_registry(old_registry)
+
+
+def seeded_runner() -> ExperimentRunner:
+    runner = ExperimentRunner()
+    small = build("pharmacy", "train", **SMALL_PHARMACY)
+    runner._workloads[("pharmacy", "train", small.hierarchy)] = small
+    return runner
+
+
+def test_experiment_run_emits_nested_spans(fresh_obs):
+    tracer, _ = fresh_obs
+    seeded_runner().run(ExperimentConfig(workload="pharmacy"))
+    (experiment,) = tracer.root.children
+    assert experiment.name == "experiment"
+    assert experiment.meta["workload"] == "pharmacy"
+    names = [child.name for child in experiment.children]
+    for stage in PIPELINE_STAGES:
+        assert stage in names
+    assert experiment.find("slice+select") is not None
+    assert all(span.duration >= 0 for span in experiment.walk())
+
+
+def test_experiment_run_registers_split_pthread_counters(fresh_obs):
+    _, registry = fresh_obs
+    result = seeded_runner().run(ExperimentConfig(workload="pharmacy"))
+    launches = registry.counter("timing.pthread.launches").value
+    drops = registry.counter("timing.pthread.drops").value
+    attempts = registry.counter("timing.pthread.attempts").value
+    assert attempts == launches + drops
+    assert launches == result.preexec.pthread_launches
+    assert drops == result.preexec.pthread_drops
+
+
+def test_parallel_sweep_merges_worker_spans_and_metrics(
+    small_inputs, tmp_path, fresh_obs
+):
+    tracer, registry = fresh_obs
+    executor = SweepExecutor(jobs=2, artifacts=ArtifactCache(tmp_path))
+    configs = [
+        ExperimentConfig(workload="pharmacy"),
+        ExperimentConfig(
+            workload="pharmacy",
+            constraints=SelectionConstraints(max_pthread_length=16),
+        ),
+    ]
+    results = executor.run(configs)
+
+    (sweep,) = tracer.root.children
+    assert sweep.name == "sweep"
+    assert sweep.meta == {"cells": 2, "jobs": 2}
+    experiments = [c for c in sweep.children if c.name == "experiment"]
+    assert len(experiments) == 2
+    # attach() tagged each worker subtree with its cell index, in order.
+    assert [e.meta["cell"] for e in experiments] == [0, 1]
+    for experiment in experiments:
+        for stage in PIPELINE_STAGES:
+            assert experiment.find(stage) is not None
+
+    # Worker metric snapshots accumulated into the coordinator registry.
+    launches = registry.counter("timing.pthread.launches").value
+    drops = registry.counter("timing.pthread.drops").value
+    assert launches == sum(r.preexec.pthread_launches for r in results)
+    assert drops == sum(r.preexec.pthread_drops for r in results)
+    assert registry.counter("timing.runs").value >= 2
+    assert registry.get("memory.l2.mshr_occupancy").count > 0
+
+
+def test_snapshot_of_real_run_passes_catalog_check(tmp_path, fresh_obs):
+    """`repro obs check` semantics: a pipeline run + harness publish
+    produces every catalog metric with the pinned type."""
+    _, registry = fresh_obs
+    runner = seeded_runner()
+    runner.run(ExperimentConfig(workload="pharmacy"))
+    publish_harness_metrics(runner.perf, runner.artifacts)
+    path = tmp_path / "metrics_snapshot.json"
+    write_snapshot(path, registry)
+    assert check_snapshot(load_snapshot(path)) == []

@@ -93,10 +93,10 @@ class TestLaunching:
         stats = run(program, tiny_hierarchy, PRE_EXECUTION, [stride_pthread()])
         assert stats.pthread_launches > 0
         assert stats.launches_by_trigger.get(TRIGGER_PC, 0) > 0
-        assert (
-            stats.pthread_launches + stats.pthread_drops
-            == stats.launches_by_trigger[TRIGGER_PC]
-        )
+        # launches_by_trigger counts actual launches; drops are tallied
+        # separately, and attempts = launches + drops per trigger.
+        assert stats.pthread_launches == stats.launches_by_trigger[TRIGGER_PC]
+        assert stats.pthread_drops == stats.drops_by_trigger.get(TRIGGER_PC, 0)
 
     def test_baseline_mode_never_launches(self, program, tiny_hierarchy):
         stats = run(program, tiny_hierarchy, BASELINE, [stride_pthread()])
@@ -116,6 +116,43 @@ class TestLaunching:
         )
         assert stats.pthread_launches == 0
         assert stats.pthread_drops > 0
+
+    def test_launches_and_drops_split_by_trigger(self, program, tiny_hierarchy):
+        """Regression: a long body on one context keeps it busy across
+        triggers, so some launch attempts drop; the per-trigger dicts
+        must split exactly into launches vs drops (launches_by_trigger
+        used to count *attempts*)."""
+        instructions = [
+            Instruction(
+                Opcode.ADDI, rd=16, rs1=16, imm=256 * (i + 1), pc=6
+            )
+            for i in range(24)
+        ] + [Instruction(Opcode.LW, rd=8, rs1=16, imm=0, pc=LOAD_PC)]
+        body = PThreadBody(instructions)
+        pthread = StaticPThread(
+            trigger_pc=TRIGGER_PC,
+            body=body,
+            target_load_pcs=(LOAD_PC,),
+            prediction=PThreadPrediction(
+                dc_trig=400, size=body.size, misses_covered=100,
+                misses_fully_covered=50, lt_agg=7000.0, oh_agg=100.0,
+            ),
+        )
+        stats = run(
+            program,
+            tiny_hierarchy,
+            PRE_EXECUTION,
+            [pthread],
+            MachineConfig(pthread_contexts=1),
+        )
+        assert stats.pthread_drops > 0
+        assert stats.pthread_launches > 0
+        assert sum(stats.launches_by_trigger.values()) == stats.pthread_launches
+        assert sum(stats.drops_by_trigger.values()) == stats.pthread_drops
+        attempts = stats.launches_by_trigger.get(
+            TRIGGER_PC, 0
+        ) + stats.drops_by_trigger.get(TRIGGER_PC, 0)
+        assert attempts == stats.pthread_launches + stats.pthread_drops
 
     def test_more_contexts_fewer_drops(self, program, tiny_hierarchy):
         few = run(

@@ -61,6 +61,7 @@ class TestCodec:
             pthread_instructions=300,
             pthread_l2_misses=15,
             launches_by_trigger={7: 12, 42: 13},
+            drops_by_trigger={7: 3, 42: 1},
             miss_exposure={7: [5, 321.0], 42: [2, 88.5]},
         )
         assert SimStats.from_dict(stats.to_dict()) == stats
@@ -70,10 +71,12 @@ class TestCodec:
 
         stats = SimStats(cycles=10, instructions=5)
         stats.launches_by_trigger = {3: 1}
+        stats.drops_by_trigger = {3: 2}
         stats.miss_exposure = {3: [1, 2.0]}
         rebuilt = SimStats.from_dict(json.loads(json.dumps(stats.to_dict())))
         assert rebuilt == stats
         assert rebuilt.launches_by_trigger == {3: 1}
+        assert rebuilt.drops_by_trigger == {3: 2}
         assert rebuilt.miss_exposure == {3: [1, 2.0]}
 
     def test_round_trip_preserves_derived_metrics(self):
