@@ -8,6 +8,7 @@ Public surface::
         verify_body, verify_pthread, verify_selection,       # verifier
         lint_program, lint_source, lint_workload,            # linter
         Diagnostic, Severity, verification_enabled,          # reporting
+        validate_functional, validate_timing,                # transval
     )
 """
 
@@ -38,7 +39,16 @@ from repro.analysis.report import (
     max_severity,
     render_json,
     render_text,
+    sort_diagnostics,
     verification_enabled,
+)
+from repro.analysis.transval import (
+    CG_CODES,
+    TimingParams,
+    TransvalResult,
+    fallback_reason,
+    validate_functional,
+    validate_timing,
 )
 from repro.analysis.verifier import (
     summarize,
@@ -71,7 +81,14 @@ __all__ = [
     "max_severity",
     "render_json",
     "render_text",
+    "sort_diagnostics",
     "verification_enabled",
+    "CG_CODES",
+    "TimingParams",
+    "TransvalResult",
+    "fallback_reason",
+    "validate_functional",
+    "validate_timing",
     "summarize",
     "verify_body",
     "verify_pthread",

@@ -98,6 +98,28 @@ def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
     return max((d.severity for d in diagnostics), default=None)
 
 
+def sort_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+) -> List[Diagnostic]:
+    """Deterministic presentation order: (code, location, message).
+
+    Every reporting surface (``repro lint``, the p-thread verifier,
+    the translation validator) sorts through here so CI diffs and
+    corpus reproducers are byte-stable regardless of discovery order.
+    """
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            d.code,
+            d.pc if d.pc is not None else -1,
+            d.position if d.position is not None else -1,
+            d.line if d.line is not None else -1,
+            d.column if d.column is not None else -1,
+            d.message,
+        ),
+    )
+
+
 def render_text(
     diagnostics: Sequence[Diagnostic], title: Optional[str] = None
 ) -> str:

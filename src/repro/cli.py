@@ -11,6 +11,7 @@ Commands mirror the paper's artifacts::
     python -m repro cache info            # persistent-cache contents
     python -m repro lint all --strict     # static lints, all workloads
     python -m repro lint mcf --pthreads   # ... plus p-thread verification
+    python -m repro verify-codegen all --strict   # translation-validate codegen
     python -m repro bench speed           # engine throughput benchmark
     python -m repro fuzz --seeds 25       # differential fuzzing campaign
     python -m repro fuzz --replay corpus/fuzz-000042-stride.json
@@ -223,14 +224,14 @@ def _cmd_cache(args: argparse.Namespace) -> None:
     print(f"  total size  {cache.size_bytes() / 1024.0:.1f} KiB")
 
 
-def _pthread_diagnostics(name: str, input_name: str):
-    """Trace + select ``name`` and verify the resulting p-threads.
+def _select_for(name: str, input_name: str):
+    """Trace + select p-threads for ``name`` with a fixed unassisted IPC.
 
-    Uses a fixed unassisted IPC: the PT invariants are structural and
-    do not depend on the model's timing inputs, so the expensive
-    baseline timing simulation is skipped.
+    The fixed IPC skips the expensive baseline timing simulation: both
+    callers (p-thread verification, pre-exec codegen validation) need a
+    structurally representative selection, not the model's tuned one.
+    Returns ``(workload, constraints, selection)``.
     """
-    from repro.analysis.verifier import verify_selection
     from repro.engine import run_program
     from repro.model import ModelParams, SelectionConstraints
     from repro.selection import select_pthreads
@@ -248,13 +249,26 @@ def _pthread_diagnostics(name: str, input_name: str):
     selection = select_pthreads(
         workload.program, trace.trace, params, constraints
     )
+    return workload, constraints, selection
+
+
+def _pthread_diagnostics(name: str, input_name: str):
+    """Trace + select ``name`` and verify the resulting p-threads."""
+    from repro.analysis.verifier import verify_selection
+
+    workload, constraints, selection = _select_for(name, input_name)
     return verify_selection(
         workload.program, selection.pthreads, constraints
     )
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import Severity, lint_workload, render_text
+    from repro.analysis import (
+        Severity,
+        lint_workload,
+        render_text,
+        sort_diagnostics,
+    )
 
     names = (
         SUITE + ["pharmacy"] if args.workload == "all" else [args.workload]
@@ -267,7 +281,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             diagnostics = diagnostics + _pthread_diagnostics(
                 name, args.input
             )
-        per_workload[name] = diagnostics
+        per_workload[name] = sort_diagnostics(diagnostics)
         for diagnostic in diagnostics:
             if worst is None or diagnostic.severity > worst:
                 worst = diagnostic.severity
@@ -284,6 +298,116 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for name, diags in per_workload.items():
             print(render_text(diags, title=f"{name} ({args.input}):"))
     if args.strict and worst is Severity.ERROR:
+        return 1
+    return 0
+
+
+#: Timing mode shapes each verify-codegen variant must validate:
+#: (launching, stealing, prefetching) triples matching what
+#: TimingSimulator.run() compiles for the paper's simulation modes.
+_CODEGEN_TIMING_SHAPES = {
+    # BASELINE / PERFECT_L2 (no p-threads), without and with the
+    # stride-prefetcher machine configuration.
+    "baseline": ((False, False, False), (False, False, True)),
+    # PRE_EXECUTION / OVERHEAD_* (steal=True) and LATENCY_ONLY
+    # (steal=False), launching at the selection's trigger PCs.
+    "pre-exec": ((True, True, False), (True, False, False)),
+}
+
+
+def _cmd_verify_codegen(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity
+    from repro.engine.functional import FunctionalSimulator
+    from repro.timing import TimingSimulator
+    from repro.workloads import build
+
+    names = (
+        SUITE + ["pharmacy"] if args.workload == "all" else [args.workload]
+    )
+    variants = (
+        ["baseline", "pre-exec"]
+        if args.variant == "all"
+        else [args.variant]
+    )
+    rows = []  # (workload, target, TransvalResult)
+    for name in names:
+        workload = build(name, args.input)
+        fsim = FunctionalSimulator(workload.program, workload.hierarchy)
+        for tracing in (False, True):
+            for caching in (False, True):
+                rows.append((
+                    name,
+                    f"functional tracing={int(tracing)} "
+                    f"caching={int(caching)}",
+                    fsim.validate_codegen(tracing, caching),
+                ))
+        for variant in variants:
+            if variant == "pre-exec":
+                _, _, selection = _select_for(name, args.input)
+                tsim = TimingSimulator(
+                    workload.program,
+                    workload.hierarchy,
+                    pthreads=selection.pthreads,
+                )
+            else:
+                tsim = TimingSimulator(workload.program, workload.hierarchy)
+            for launching, stealing, prefetching in _CODEGEN_TIMING_SHAPES[
+                variant
+            ]:
+                rows.append((
+                    name,
+                    f"timing {variant} launching={int(launching)} "
+                    f"stealing={int(stealing)} "
+                    f"prefetching={int(prefetching)}",
+                    tsim.validate_codegen(launching, stealing, prefetching),
+                ))
+
+    failed = sum(
+        1
+        for _, _, result in rows
+        if any(d.severity is Severity.ERROR for d in result.diagnostics)
+    )
+    if args.format == "json":
+        payload = {
+            "input": args.input,
+            "variant": args.variant,
+            "ok": failed == 0,
+            "targets": [
+                {
+                    "workload": name,
+                    "target": target,
+                    "blocks_checked": result.blocks_checked,
+                    "blocks_failed": result.blocks_failed,
+                    "blocks_unvalidatable": result.blocks_unvalidatable,
+                    "fallbacks": result.fallbacks,
+                    "diagnostics": [
+                        d.to_dict() for d in result.diagnostics
+                    ],
+                }
+                for name, target, result in rows
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        width = max(len(target) for _, target, _ in rows)
+        for name, target, result in rows:
+            status = "ok" if not result.blocks_failed else "FAILED"
+            if result.fallbacks:
+                status = "fallback"
+            print(
+                f"{name:<10} {target:<{width}}  "
+                f"blocks={result.blocks_checked:<4} "
+                f"failed={result.blocks_failed} "
+                f"unvalidatable={result.blocks_unvalidatable}  {status}"
+            )
+            for diagnostic in result.diagnostics:
+                print(f"    {diagnostic.render()}")
+        blocks = sum(result.blocks_checked for _, _, result in rows)
+        print(
+            f"\n{len(rows)} target(s), {blocks} block(s) validated, "
+            f"{failed} target(s) with errors"
+        )
+    if args.strict and failed:
         return 1
     return 0
 
@@ -632,6 +756,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run selection and verify the resulting p-threads",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    transval_parser = sub.add_parser(
+        "verify-codegen",
+        help=(
+            "translation-validate the compiled engine: prove every "
+            "generated basic block equivalent to the interpreter "
+            "semantics (CG diagnostics)"
+        ),
+    )
+    transval_parser.add_argument(
+        "workload", choices=SUITE + ["pharmacy", "all"],
+        help="workload to validate, or 'all' for the whole bundle",
+    )
+    transval_parser.add_argument(
+        "--input", default="train", help="input set to build (default train)"
+    )
+    transval_parser.add_argument(
+        "--variant", choices=["baseline", "pre-exec", "all"], default="all",
+        help=(
+            "timing codegen variants to check: baseline (no p-threads), "
+            "pre-exec (launch/steal shapes at selected trigger PCs), or "
+            "all (default)"
+        ),
+    )
+    transval_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    transval_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if any error-severity diagnostic is found",
+    )
+    add_observability(transval_parser)
+    transval_parser.set_defaults(func=_cmd_verify_codegen)
 
     return parser
 

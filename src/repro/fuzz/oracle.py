@@ -37,6 +37,16 @@ shrinking can match "the same failure" across candidate reductions:
     misses, coverage classifications never exceed the miss count, IPC
     respects the sequencing-bandwidth bound, and p-thread counters are
     zero when no p-threads run.
+
+``codegen_transval``
+    Static translation validation (:mod:`repro.analysis.transval`) of
+    every compiled variant the dynamic families exercised: all four
+    functional (tracing, caching) shapes, the baseline timing shape,
+    and the pre-execution timing shape with the selection's trigger
+    PCs.  No simulation runs — the generated block source is proven
+    equivalent to the interpreter semantics symbolically, so this
+    family is cheap per seed and catches codegen bugs on paths the
+    dynamic inputs never reached.
 """
 
 from __future__ import annotations
@@ -57,13 +67,14 @@ from repro.timing.config import BASELINE, PRE_EXECUTION, MachineConfig
 from repro.timing.core import TimingSimulator
 from repro.timing.stats import SimStats
 
-#: The five check families, in the order they run.
+#: The six check families, in the order they run.
 CHECK_FAMILIES: Tuple[str, ...] = (
     "engine_equivalence",
     "functional_vs_timing",
     "pthread_verify",
     "model_invariants",
     "memory_sanity",
+    "codegen_transval",
 )
 
 _ENGINES = (ENGINE_INTERP, ENGINE_COMPILED)
@@ -98,6 +109,11 @@ class OracleReport:
     families_run: List[str] = field(default_factory=list)
     failures: List[CheckFailure] = field(default_factory=list)
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock seconds spent in each family that ran (checks plus
+    #: the simulations it triggered), for campaign overhead accounting.
+    #: Deliberately excluded from :meth:`to_dict`: verdicts are a pure
+    #: function of the seed, wall-clock is not.
+    family_seconds: Dict[str, float] = field(default_factory=dict)
     #: True when a soft deadline truncated this run: later families were
     #: skipped entirely, but every check that did run is complete.
     budget_exceeded: bool = False
@@ -140,10 +156,21 @@ class _Checker:
     def __init__(self, report: OracleReport) -> None:
         self.report = report
         self.family = ""
+        self._family_started: Optional[float] = None
 
     def start(self, family: str) -> None:
+        self.finish()
         self.family = family
+        self._family_started = time.monotonic()
         self.report.families_run.append(family)
+
+    def finish(self) -> None:
+        """Close the running family's wall-clock accounting, if any."""
+        if self._family_started is not None:
+            self.report.family_seconds[self.family] = round(
+                time.monotonic() - self._family_started, 6
+            )
+            self._family_started = None
 
     def fail(self, check: str, message: str) -> None:
         self.report.failures.append(
@@ -251,6 +278,7 @@ def run_oracle(
 
     def expired() -> bool:
         if deadline is not None and time.monotonic() >= deadline:
+            check.finish()
             report.budget_exceeded = True
             return True
         return False
@@ -416,7 +444,55 @@ def run_oracle(
         check, pre[ENGINE_INTERP].stats, machine, "preexec", pthreads=True
     )
 
+    if expired():
+        return report
+
+    # ---- family 6: static translation validation of codegen ----------
+    check.start("codegen_transval")
+    _check_codegen_transval(check, workload, machine, selection)
+
+    check.finish()
     return report
+
+
+def _check_codegen_transval(
+    check: _Checker,
+    workload: FuzzWorkload,
+    machine: MachineConfig,
+    selection: ProgramSelection,
+) -> None:
+    """Statically validate every compiled variant the oracle exercised."""
+    program, hierarchy = workload.program, workload.hierarchy
+    fsim = FunctionalSimulator(program, hierarchy)
+    for tracing in (False, True):
+        for caching in (False, True):
+            result = fsim.validate_codegen(tracing, caching)
+            _transval_failures(
+                check,
+                f"functional tracing={int(tracing)} caching={int(caching)}",
+                result,
+            )
+    for pthreads, shape in (
+        (None, (False, False, False)),
+        (selection.pthreads, (True, True, False)),
+    ):
+        tsim = TimingSimulator(
+            program, hierarchy, machine=machine, pthreads=pthreads
+        )
+        result = tsim.validate_codegen(*shape)
+        launching, stealing, prefetching = shape
+        _transval_failures(
+            check,
+            f"timing launching={int(launching)} stealing={int(stealing)} "
+            f"prefetching={int(prefetching)}",
+            result,
+        )
+
+
+def _transval_failures(check: _Checker, label: str, result) -> None:
+    for diagnostic in result.diagnostics:
+        if diagnostic.severity is Severity.ERROR:
+            check.fail(diagnostic.code, f"{label}: {diagnostic.render()}")
 
 
 def _check_model(

@@ -53,6 +53,7 @@ def run_campaign(
     tracer = get_tracer()
     reports: List[Dict] = []
     reproducers: List[str] = []
+    family_seconds: Dict[str, float] = {}
     failed = 0
     seeds_run = 0
     budget_exceeded = False
@@ -77,6 +78,10 @@ def run_campaign(
                 )
             seeds_run += 1
             reports.append(report.to_dict())
+            for family, seconds in report.family_seconds.items():
+                family_seconds[family] = round(
+                    family_seconds.get(family, 0.0) + seconds, 6
+                )
             if report.budget_exceeded:
                 budget_exceeded = True
             if report.ok:
@@ -116,5 +121,6 @@ def run_campaign(
         "reports": reports,
         "reproducers": reproducers,
         "budget_exceeded": budget_exceeded,
+        "family_seconds": family_seconds,
         "elapsed_seconds": round(time.monotonic() - start, 3),
     }

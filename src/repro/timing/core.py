@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.report import assert_clean, verification_enabled
 from repro.engine.compiler import (
     ENGINE_COMPILED,
     ENGINE_INTERP,
@@ -295,7 +296,7 @@ class TimingSimulator:
         key = (launching, stealing, prefetching)
         if key not in self._compiled:
             machine = self.machine
-            self._compiled[key] = compile_timing(
+            compiled = compile_timing(
                 self.decoded,
                 window=machine.window,
                 bw_seq=machine.bw_seq,
@@ -308,7 +309,77 @@ class TimingSimulator:
                 trigger_pcs=self._trigger_union,
                 hinted_pcs=self._hinted_pcs,
             )
+            if verification_enabled():
+                # Debug-mode translation validation: statically prove
+                # the generated block functions equivalent to the
+                # timing-loop semantics before trusting them with a run.
+                from repro.analysis.transval import (
+                    TimingParams,
+                    validate_timing,
+                )
+
+                params = TimingParams(
+                    window=machine.window,
+                    bw_seq=machine.bw_seq,
+                    dispatch_latency=machine.dispatch_latency,
+                    mispredict_penalty=machine.mispredict_penalty,
+                    forward_latency=machine.store_forward_latency,
+                    launching=launching,
+                    stealing=stealing,
+                    prefetching=prefetching,
+                    trigger_pcs=self._trigger_union,
+                    hinted_pcs=self._hinted_pcs,
+                )
+                result = validate_timing(self.decoded, compiled, params)
+                assert_clean(
+                    result.diagnostics,
+                    f"codegen validation (timing, launching={launching}, "
+                    f"stealing={stealing}, prefetching={prefetching})",
+                )
+            self._compiled[key] = compiled
         return self._compiled[key]
+
+    def validate_codegen(
+        self, launching: bool, stealing: bool, prefetching: bool
+    ):
+        """Translation-validate one compiled variant without running it.
+
+        Compiles the (launching, stealing, prefetching) mode shape with
+        this simulator's machine parameters and trigger/hint sets and
+        returns the :class:`repro.analysis.transval.TransvalResult` of
+        checking it against the timing-loop semantics.  Static: no
+        cycle is simulated.  Used by ``repro verify-codegen`` and the
+        fuzz oracle's ``codegen_transval`` family.
+        """
+        from repro.analysis.transval import TimingParams, validate_timing
+
+        machine = self.machine
+        compiled = compile_timing(
+            self.decoded,
+            window=machine.window,
+            bw_seq=machine.bw_seq,
+            dispatch_latency=machine.dispatch_latency,
+            mispredict_penalty=machine.mispredict_penalty,
+            forward_latency=machine.store_forward_latency,
+            launching=launching,
+            stealing=stealing,
+            prefetching=prefetching,
+            trigger_pcs=self._trigger_union,
+            hinted_pcs=self._hinted_pcs,
+        )
+        params = TimingParams(
+            window=machine.window,
+            bw_seq=machine.bw_seq,
+            dispatch_latency=machine.dispatch_latency,
+            mispredict_penalty=machine.mispredict_penalty,
+            forward_latency=machine.store_forward_latency,
+            launching=launching,
+            stealing=stealing,
+            prefetching=prefetching,
+            trigger_pcs=frozenset(self._trigger_union),
+            hinted_pcs=frozenset(self._hinted_pcs),
+        )
+        return validate_timing(self.decoded, compiled, params)
 
     def run(
         self,

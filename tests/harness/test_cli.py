@@ -126,6 +126,80 @@ class TestLintCommand:
         assert "speedup" in capsys.readouterr().out
 
 
+class TestVerifyCodegenCommand:
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["verify-codegen", "all"])
+        assert args.workload == "all"
+        assert args.variant == "all"
+        assert args.format == "text"
+        assert not args.strict
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify-codegen", "mcf", "--variant", "jit"]
+            )
+
+    def test_pharmacy_validates_clean(self, capsys, hermetic_cli):
+        assert main(["verify-codegen", "pharmacy", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "functional tracing=1 caching=1" in out
+        assert "timing pre-exec launching=1" in out
+        assert "0 target(s) with errors" in out
+
+    def test_json_output_is_byte_identical(self, capsys, hermetic_cli):
+        # Deterministic diagnostics: two identical invocations must
+        # produce byte-identical JSON, so CI diffs are stable.
+        assert main(
+            ["verify-codegen", "pharmacy", "--variant", "baseline",
+             "--format", "json"]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(
+            ["verify-codegen", "pharmacy", "--variant", "baseline",
+             "--format", "json"]
+        ) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["ok"] is True
+        targets = {t["target"] for t in payload["targets"]}
+        # 4 functional shapes + 2 baseline timing shapes.
+        assert len(payload["targets"]) == 6
+        assert any(t.startswith("timing baseline") for t in targets)
+
+    def test_strict_propagates_block_failures(
+        self, capsys, hermetic_cli, monkeypatch
+    ):
+        from repro.analysis.report import Diagnostic, Severity
+        from repro.analysis.transval import TransvalResult
+        from repro.engine.functional import FunctionalSimulator
+
+        def broken(self, tracing, caching):
+            return TransvalResult(
+                diagnostics=[
+                    Diagnostic("CG001", Severity.ERROR, "injected")
+                ],
+                blocks_checked=1,
+                blocks_failed=1,
+            )
+
+        monkeypatch.setattr(
+            FunctionalSimulator, "validate_codegen", broken
+        )
+        assert main(
+            ["verify-codegen", "pharmacy", "--variant", "baseline",
+             "--strict"]
+        ) == 1
+        assert "CG001" in capsys.readouterr().out
+
+    def test_lint_json_output_is_byte_identical(self, capsys, hermetic_cli):
+        assert main(["lint", "pharmacy", "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["lint", "pharmacy", "--format", "json"]) == 0
+        assert first == capsys.readouterr().out
+
+
 class TestFuzzCommand:
     def test_parses_defaults(self):
         args = build_parser().parse_args(["fuzz"])
