@@ -842,6 +842,26 @@ class _Extractor:
                 self._emit("trace", guard, ("trace", None, record))
                 self._trace_count += 1
                 return ("const", None)
+            if name == "tb_e":
+                # Batched trace flush: one buffer extend carrying a
+                # tuple of record tuples.  Each element is one trace
+                # effect, so the batched compiled path unifies with
+                # the reference's per-record appends stream-for-stream.
+                if not (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Tuple)
+                ):
+                    raise UnvalidatableConstruct(
+                        "tb_e argument is not a tuple literal"
+                    )
+                for record in args[0][1]:
+                    if not (_is_expr(record) and record[0] == "tuple"):
+                        raise UnvalidatableConstruct(
+                            "tb_e element is not a record tuple"
+                        )
+                    self._emit("trace", guard, ("trace", None, record[1]))
+                    self._trace_count += 1
+                return ("const", None)
             if name in _EFFECT_CALLS:
                 ordinal = self._ordinal(name)
                 self._emit(_EFFECT_CALLS[name], guard, ("call", name, args))
@@ -1735,6 +1755,7 @@ def _structural_diagnostics(
     compiled: CompiledBlocks,
     bind: ast.FunctionDef,
     extra_leaders: Sequence[int],
+    only_blocks: Optional[Sequence[int]] = None,
 ) -> List[Diagnostic]:
     diags: List[Diagnostic] = []
     n = len(decoded)
@@ -1742,7 +1763,12 @@ def _structural_diagnostics(
         (start, start + length)
         for start, length in zip(compiled.starts, compiled.lengths)
     ]
-    expected = discover_blocks(decoded, extra_leaders=extra_leaders)
+    full = discover_blocks(decoded, extra_leaders=extra_leaders)
+    if only_blocks is None:
+        expected = full
+    else:
+        members = frozenset(only_blocks)
+        expected = [block for block in full if block[0] in members]
     if actual != expected:
         diags.append(
             _diag(
@@ -1752,21 +1778,46 @@ def _structural_diagnostics(
                 f"leader analysis {expected[:8]}...",
             )
         )
-    # Independent partition sanity: exact program coverage, and no
-    # control transfer buried inside a block.
-    covered = 0
+    # Independent partition sanity: a full compilation must cover the
+    # program exactly; a tiered subset compilation must emit only
+    # genuine blocks of the full partition.  Either way, no control
+    # transfer may be buried inside a block.
     terminators = frozenset((K_BRANCH, K_JUMP, K_JAL, K_JR, K_HALT))
-    for start, end in actual:
-        if start != covered:
+    if only_blocks is None:
+        covered = 0
+        for start, end in actual:
+            if start != covered:
+                diags.append(
+                    _diag(
+                        "CG003",
+                        start,
+                        f"block gap/overlap: block starts at {start}, "
+                        f"coverage so far ends at {covered}",
+                    )
+                )
+            covered = end
+        if actual and covered != n:
             diags.append(
                 _diag(
                     "CG003",
-                    start,
-                    f"block gap/overlap: block starts at {start}, "
-                    f"coverage so far ends at {covered}",
+                    covered,
+                    f"blocks cover [0, {covered}) but the program has {n} "
+                    "instructions",
                 )
             )
-        covered = end
+    else:
+        full_set = frozenset(full)
+        for start, end in actual:
+            if (start, end) not in full_set:
+                diags.append(
+                    _diag(
+                        "CG003",
+                        start,
+                        f"block [{start}, {end}) is not a basic block "
+                        "of the full partition",
+                    )
+                )
+    for start, end in actual:
         for pc in range(start, end - 1):
             if decoded.kind[pc] in terminators:
                 diags.append(
@@ -1777,15 +1828,6 @@ def _structural_diagnostics(
                         f"[{start}, {end})",
                     )
                 )
-    if actual and covered != n:
-        diags.append(
-            _diag(
-                "CG003",
-                covered,
-                f"blocks cover [0, {covered}) but the program has {n} "
-                "instructions",
-            )
-        )
     # Dispatch table literal: every block maps its leader to its own
     # function, length, and index.
     ret = bind.body[-1] if bind.body else None
@@ -1930,6 +1972,7 @@ def _validate(
     reference: Callable[[int, int], str],
     extra_leaders: Sequence[int],
     expected_args: Tuple[str, ...],
+    only_blocks: Optional[Sequence[int]] = None,
 ) -> TransvalResult:
     result = TransvalResult()
     with get_tracer().span(f"analysis.transval.{mode}"), _deep_recursion():
@@ -1961,7 +2004,9 @@ def _validate(
             if isinstance(stmt, ast.FunctionDef)
         }
         result.diagnostics.extend(
-            _structural_diagnostics(decoded, compiled, bind, extra_leaders)
+            _structural_diagnostics(
+                decoded, compiled, bind, extra_leaders, only_blocks
+            )
         )
         for start, length in zip(compiled.starts, compiled.lengths):
             end = start + length
@@ -2020,8 +2065,14 @@ def validate_functional(
     *,
     tracing: bool,
     caching: bool,
+    only_blocks: Optional[Sequence[int]] = None,
 ) -> TransvalResult:
-    """Validate a functional-engine compilation against the decode."""
+    """Validate a functional-engine compilation against the decode.
+
+    ``only_blocks`` marks a tiered subset compilation: structural
+    checks then require membership in the full partition instead of
+    exact program coverage.
+    """
 
     def reference(start: int, end: int) -> str:
         return functional_reference_source(
@@ -2035,6 +2086,7 @@ def validate_functional(
         reference,
         extra_leaders=(),
         expected_args=("regs", "lw"),
+        only_blocks=only_blocks,
     )
 
 
@@ -2042,8 +2094,13 @@ def validate_timing(
     decoded: DecodedProgram,
     compiled: Optional[CompiledBlocks],
     params: TimingParams,
+    only_blocks: Optional[Sequence[int]] = None,
 ) -> TransvalResult:
-    """Validate a timing-engine compilation against the decode."""
+    """Validate a timing-engine compilation against the decode.
+
+    ``only_blocks`` marks a tiered subset compilation (see
+    :func:`validate_functional`).
+    """
 
     def reference(start: int, end: int) -> str:
         return timing_reference_source(decoded, start, end, params)
@@ -2064,4 +2121,5 @@ def validate_timing(
             "regs",
             "rdy",
         ),
+        only_blocks=only_blocks,
     )

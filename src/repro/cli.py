@@ -213,14 +213,20 @@ def _cmd_cache(args: argparse.Namespace) -> None:
     if cache is None:
         print("persistent cache disabled (REPRO_CACHE_DIR is off)")
         return
+    kind = args.kind
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} artifact(s) from {cache.root}")
+        try:
+            removed = cache.clear(kind)
+        except KeyError:
+            raise SystemExit(f"unknown artifact kind: {kind}")
+        what = f"{kind} artifact(s)" if kind else "artifact(s)"
+        print(f"removed {removed} {what} from {cache.root}")
         return
     counts = cache.entry_count()
     print(f"cache root: {cache.root}")
-    for kind in sorted(counts):
-        print(f"  {kind:<11} {counts[kind]} artifact(s)")
+    for name in sorted(counts):
+        size = cache.size_bytes(name) / 1024.0
+        print(f"  {name:<11} {counts[name]:>5} artifact(s)  {size:9.1f} KiB")
     print(f"  total size  {cache.size_bytes() / 1024.0:.1f} KiB")
 
 
@@ -565,10 +571,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="append a stage-timing / cache hit-miss report",
         )
         p.add_argument(
-            "--engine", choices=["compiled", "interp"], default=None,
+            "--engine", choices=["tiered", "compiled", "interp"],
+            default=None,
             help=(
-                "simulation engine: compiled basic blocks (default) or "
-                "the reference interpreter (sets REPRO_ENGINE)"
+                "simulation engine: tiered (default; interpret, then "
+                "compile hot blocks), compiled basic blocks, or the "
+                "reference interpreter (sets REPRO_ENGINE)"
             ),
         )
         p.add_argument(
@@ -622,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the persistent artifact cache"
     )
     cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.add_argument(
+        "--kind", default=None,
+        help=(
+            "restrict clear to one artifact kind "
+            "(e.g. codegen, trace, selection)"
+        ),
+    )
     cache_parser.set_defaults(func=_cmd_cache)
 
     branch_parser = sub.add_parser(
@@ -653,8 +668,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--check", action="store_true",
         help=(
-            "exit non-zero unless the compiled engine meets its speed "
-            "floors (>=2x functional exec geomean, never slower overall)"
+            "exit non-zero unless the engines meet their speed floors "
+            "(>=2x exec / >=1.5x traced compiled geomean, compiled and "
+            "tiered never slower than interp, cold table2 >=1.3x tiered)"
         ),
     )
     bench_parser.set_defaults(func=_cmd_bench)

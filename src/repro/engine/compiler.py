@@ -55,6 +55,7 @@ whole-program fallback.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.decode import (
@@ -77,7 +78,13 @@ from repro.obs import get_registry as obs_registry
 ENGINE_ENV = "REPRO_ENGINE"
 ENGINE_COMPILED = "compiled"
 ENGINE_INTERP = "interp"
+ENGINE_TIERED = "tiered"
 _INTERP_NAMES = {"interp", "interpreter", "interpreted"}
+
+#: Environment variable for the tier-up threshold (block entry count at
+#: which the tiered engine compiles a block).
+TIER_ENV = "REPRO_TIER_THRESHOLD"
+DEFAULT_TIER_THRESHOLD = 50
 
 #: Programs longer than this are not compiled (compile time guard).
 MAX_PROGRAM = 65_536
@@ -98,25 +105,72 @@ _ALIGN_MASK = (
 
 
 def resolve_engine(explicit: Optional[str] = None) -> str:
-    """Resolve the engine selection: explicit arg > ``REPRO_ENGINE`` > compiled.
+    """Resolve the engine selection: explicit arg > ``REPRO_ENGINE`` > tiered.
 
-    Any spelling of "interp" selects the interpreter; "compiled" (or
-    unset/empty) selects the compiled engine, which itself falls back
-    per program when it cannot specialize.  Anything else raises, so a
+    Any spelling of "interp" selects the interpreter; "compiled"
+    selects the always-compile engine; "tiered" (or unset/empty)
+    selects the tiered engine, which starts in the interpreter and
+    compiles only blocks that get hot.  Anything else raises, so a
     typo cannot silently change which engine ran.
     """
     value = explicit if explicit is not None else os.environ.get(ENGINE_ENV)
     if value is None:
-        return ENGINE_COMPILED
+        return ENGINE_TIERED
     name = value.strip().lower()
     if name in _INTERP_NAMES:
         return ENGINE_INTERP
-    if name in ("", ENGINE_COMPILED):
+    if name == ENGINE_COMPILED:
         return ENGINE_COMPILED
+    if name in ("", ENGINE_TIERED):
+        return ENGINE_TIERED
     raise ValueError(
         f"unknown engine {value!r}: expected "
-        f"'{ENGINE_COMPILED}' or '{ENGINE_INTERP}'"
+        f"'{ENGINE_TIERED}', '{ENGINE_COMPILED}' or '{ENGINE_INTERP}'"
     )
+
+
+#: Instruction budget of one tiered interpreter slice: the interval at
+#: which the tiered engine re-scans block-entry counts for new hot
+#: blocks.  Bounded so interpreter-only inner loops still tier up.
+TIER_SLICE = 4096
+
+
+def tier_threshold() -> int:
+    """Block-entry count at which the tiered engine compiles a block.
+
+    ``REPRO_TIER_THRESHOLD`` overrides the default; values below 1 are
+    clamped to 1 (compile on first re-entry), and a non-integer raises
+    so a typo cannot silently disable tiering.
+    """
+    raw = os.environ.get(TIER_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_TIER_THRESHOLD
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{TIER_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, value)
+
+
+def register_engine_metrics() -> None:
+    """Register the engine's catalog counters at zero.
+
+    The metric catalog requires ``engine.compile.*``,
+    ``engine.codegen.*`` and ``engine.tier.*`` in every
+    default-pipeline snapshot, but a fully-interpreted tiered run never
+    compiles, a disabled code cache is never consulted, and a
+    non-tiered run never tiers.  ``counter()`` is get-or-create, so
+    this pins the names without incrementing anything.
+    """
+    registry = obs_registry()
+    registry.counter("engine.compile.programs")
+    registry.counter("engine.compile.blocks")
+    registry.counter("engine.codegen.cache_hits")
+    registry.counter("engine.codegen.cache_misses")
+    registry.counter("engine.tier.compiled_blocks")
+    registry.counter("engine.tier.interp_blocks")
 
 
 def discover_blocks(
@@ -247,6 +301,12 @@ class CompiledBlocks:
             counts instead of bumping counters inside the hot code.
         max_len: longest block (the dispatcher's budget guard).
         source: the generated Python source (for tests and debugging).
+        cache_key: the code-cache key this compilation is stored under
+            (``None`` when the cache is disabled).
+        validated: translation validation has proved this source clean
+            (either this process or a previous one, via the cache).
+        from_cache: the source came from the persistent code cache
+            (block discovery and emission were skipped).
     """
 
     __slots__ = (
@@ -258,9 +318,24 @@ class CompiledBlocks:
         "branches",
         "max_len",
         "source",
+        "cache_key",
+        "validated",
+        "from_cache",
     )
 
-    def __init__(self, bind, starts, lengths, loads, stores, branches, source):
+    def __init__(
+        self,
+        bind,
+        starts,
+        lengths,
+        loads,
+        stores,
+        branches,
+        source,
+        cache_key=None,
+        validated=False,
+        from_cache=False,
+    ):
         self.bind = bind
         self.starts = starts
         self.lengths = lengths
@@ -269,10 +344,20 @@ class CompiledBlocks:
         self.branches = branches
         self.max_len = max(lengths) if lengths else 0
         self.source = source
+        self.cache_key = cache_key
+        self.validated = validated
+        self.from_cache = from_cache
 
     @property
     def num_blocks(self) -> int:
         return len(self.starts)
+
+
+def _exec_module(source: str, filename: str):
+    """``compile()`` + ``exec()`` generated source; returns ``_bind``."""
+    namespace: Dict[str, object] = {}
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace["_bind"]
 
 
 def _finish(
@@ -288,13 +373,12 @@ def _finish(
     )
     lines.append(f"    return {{{table}}}")
     source = "\n".join(lines) + "\n"
-    namespace: Dict[str, object] = {}
-    exec(compile(source, filename, "exec"), namespace)
+    bind = _exec_module(source, filename)
     registry = obs_registry()
     registry.counter("engine.compile.programs").inc()
     registry.counter("engine.compile.blocks").inc(len(blocks))
     return CompiledBlocks(
-        bind=namespace["_bind"],
+        bind=bind,
         starts=[start for start, _ in blocks],
         lengths=[end - start for start, end in blocks],
         loads=[c[0] for c in counters],
@@ -304,13 +388,144 @@ def _finish(
     )
 
 
+def _from_cached(
+    payload: Dict, key: str, filename: str
+) -> Optional[CompiledBlocks]:
+    """Rebuild a :class:`CompiledBlocks` from a cached codegen payload.
+
+    Any failure — source that no longer ``exec``s, metadata lists that
+    do not line up — returns ``None`` so the caller falls through to a
+    fresh emission (the bad entry is then overwritten by the fresh
+    store under the same key).
+    """
+    try:
+        source = payload["source"]
+        starts = [int(v) for v in payload["starts"]]
+        lengths = [int(v) for v in payload["lengths"]]
+        loads = [int(v) for v in payload["loads"]]
+        stores = [int(v) for v in payload["stores"]]
+        branches = [int(v) for v in payload["branches"]]
+        if not (
+            isinstance(source, str)
+            and len(starts)
+            == len(lengths)
+            == len(loads)
+            == len(stores)
+            == len(branches)
+        ):
+            return None
+        bind = _exec_module(source, filename)
+    except Exception:
+        return None
+    return CompiledBlocks(
+        bind=bind,
+        starts=starts,
+        lengths=lengths,
+        loads=loads,
+        stores=stores,
+        branches=branches,
+        source=source,
+        cache_key=key,
+        validated=bool(payload.get("validated", False)),
+        from_cache=True,
+    )
+
+
+#: Process-wide memo of finished compilations, keyed exactly like the
+#: persistent code cache.  Compilation is deterministic, but a cold
+#: pipeline builds many simulator instances per program (functional
+#: trace, baseline, perfect-L2, every timing mode), and each instance
+#: would otherwise re-emit and re-``exec`` the same module.  Bounded
+#: FIFO so fuzz campaigns streaming thousands of distinct programs
+#: through here cannot grow it without limit.
+_MEMO_LIMIT = 128
+_compile_memo: "OrderedDict[str, CompiledBlocks]" = OrderedDict()
+
+
+def _memo_put(key: str, compiled: CompiledBlocks) -> None:
+    _compile_memo[key] = compiled
+    _compile_memo.move_to_end(key)
+    while len(_compile_memo) > _MEMO_LIMIT:
+        _compile_memo.popitem(last=False)
+
+
+def clear_compile_memo() -> None:
+    """Drop all memoized compilations (test / cold-benchmark seam)."""
+    _compile_memo.clear()
+
+
+def _compile_key(
+    decoded: DecodedProgram,
+    target: str,
+    variant: Dict,
+    only_blocks: Optional[Sequence[int]],
+) -> str:
+    """Content-addressed key for one compilation.
+
+    Identical to :meth:`repro.engine.codecache.CodeCache.key` (same
+    ``stable_key`` parts), so the in-process memo and the persistent
+    cache index the same entries.
+    """
+    from repro.engine.codecache import CODEGEN_SCHEMA_VERSION
+    from repro.harness.artifacts import program_digest, stable_key
+
+    return stable_key(
+        "codegen",
+        program=program_digest(decoded.program),
+        codegen_schema=CODEGEN_SCHEMA_VERSION,
+        target=target,
+        variant=variant,
+        only_blocks=(
+            sorted(only_blocks) if only_blocks is not None else None
+        ),
+    )
+
+
+def _consult_code_cache(
+    decoded: DecodedProgram,
+    target: str,
+    variant: Dict,
+    only_blocks: Optional[Sequence[int]],
+    filename: str,
+) -> Tuple[Optional[object], Optional[str], Optional[CompiledBlocks]]:
+    """Memo and code-cache lookup shared by both compilers.
+
+    Returns ``(cache, key, compiled)``.  The key is computed even when
+    the persistent cache is disabled — it also indexes the in-process
+    memo, which is consulted first (no disk, no counters).  On a disk
+    hit the rebuilt compilation is memoized for the next simulator
+    instance; on a full miss the caller emits fresh source and stores
+    it under ``key``.
+    """
+    from repro.engine.codecache import get_code_cache
+
+    key = _compile_key(decoded, target, variant, only_blocks)
+    memo = _compile_memo.get(key)
+    if memo is not None:
+        _compile_memo.move_to_end(key)
+        return get_code_cache(), key, memo
+    cache = get_code_cache()
+    if cache is None:
+        return None, key, None
+    payload = cache.load(key)
+    if payload is not None:
+        compiled = _from_cached(payload, key, filename)
+        if compiled is not None:
+            _memo_put(key, compiled)
+            return cache, key, compiled
+    return cache, key, None
+
+
 # ----------------------------------------------------------------------
 # Functional engine codegen
 # ----------------------------------------------------------------------
 
 
 def compile_functional(
-    decoded: DecodedProgram, tracing: bool, caching: bool
+    decoded: DecodedProgram,
+    tracing: bool,
+    caching: bool,
+    only_blocks: Optional[Sequence[int]] = None,
 ) -> Optional[CompiledBlocks]:
     """Compile a functional-simulation variant of ``decoded``.
 
@@ -318,11 +533,32 @@ def compile_functional(
     the last-writer table) and return the next PC, or -1 for ``halt``.
     Everything else — memory, hierarchy, trace, the last-store map —
     is closed over at bind time.  Returns ``None`` on fallback.
+
+    ``only_blocks`` restricts emission to blocks whose leader PC is in
+    the set (the tiered engine compiles just its hot subset); the
+    dispatch table then covers only those leaders and the dispatcher
+    interprets everything else.  Generated source is served from and
+    stored to the persistent code cache when one is enabled.
     """
     n = len(decoded)
     if not n or n > MAX_PROGRAM:
         return None
+    filename = "<repro-compiled-functional>"
+    cache, cache_key, cached = _consult_code_cache(
+        decoded,
+        "functional",
+        {"tracing": tracing, "caching": caching},
+        only_blocks,
+        filename,
+    )
+    if cached is not None:
+        return cached
     blocks = discover_blocks(decoded)
+    if only_blocks is not None:
+        only = frozenset(only_blocks)
+        blocks = [b for b in blocks if b[0] in only]
+        if not blocks:
+            return None
     lines = [
         "def _bind(ctx):",
         "    mem_load = ctx['mem_load']",
@@ -336,6 +572,7 @@ def compile_functional(
     if tracing:
         lines.append("    tbuf = ctx['trace_buf']")
         lines.append("    tb_a = tbuf.append")
+        lines.append("    tb_e = tbuf.extend")
         lines.append("    tb_len = tbuf.__len__")
         lines.append("    last_store = ctx['last_store']")
         lines.append("    ls_get = last_store.get")
@@ -347,30 +584,44 @@ def compile_functional(
             )
     except _Unsupported:
         return None
-    return _finish(lines, blocks, counters, "<repro-compiled-functional>")
+    compiled = _finish(lines, blocks, counters, filename)
+    if compiled is not None:
+        _memo_put(cache_key, compiled)
+        if cache is not None:
+            compiled.cache_key = cache_key
+            cache.store(
+                cache_key,
+                compiled.source,
+                compiled.starts,
+                compiled.lengths,
+                compiled.loads,
+                compiled.stores,
+                compiled.branches,
+            )
+    return compiled
 
 
-def _emit_mem_load(rd: int, out: List[str]) -> None:
-    """Value read at ``a``: aligned addresses hit the word dict
+def _emit_mem_load(rd: int, out: List[str], addr: str = "a") -> None:
+    """Value read at ``addr``: aligned addresses hit the word dict
     directly; the misaligned path calls the real method (which raises
     the same :class:`~repro.memory.main_memory.MemoryAlignmentError`
     the interpreter would)."""
     if _ALIGN_MASK is None:
-        out.append(f"        {'v = ' if rd else ''}mem_load(a)")
+        out.append(f"        {'v = ' if rd else ''}mem_load({addr})")
         return
-    out.append(f"        if a & {_ALIGN_MASK}:")
-    out.append("            mem_load(a)")
+    out.append(f"        if {addr} & {_ALIGN_MASK}:")
+    out.append(f"            mem_load({addr})")
     if rd:
-        out.append("        v = words_get(a, 0)")
+        out.append(f"        v = words_get({addr}, 0)")
 
 
-def _emit_mem_store(value_expr: str, out: List[str]) -> None:
+def _emit_mem_store(value_expr: str, out: List[str], addr: str = "a") -> None:
     if _ALIGN_MASK is None:
-        out.append(f"        mem_store(a, {value_expr})")
+        out.append(f"        mem_store({addr}, {value_expr})")
         return
-    out.append(f"        if a & {_ALIGN_MASK}:")
-    out.append(f"            mem_store(a, {value_expr})")
-    out.append(f"        words[a] = {value_expr}")
+    out.append(f"        if {addr} & {_ALIGN_MASK}:")
+    out.append(f"            mem_store({addr}, {value_expr})")
+    out.append(f"        words[{addr}] = {value_expr}")
 
 
 def _emit_functional_block(
@@ -389,104 +640,139 @@ def _emit_functional_block(
     body_at = len(out)
     loads = stores = branches = 0
     terminated = False
+    emit = out.append
+    # Traced blocks batch their records: every instruction contributes
+    # one record source string to ``recs`` and the whole block flushes
+    # in a single buffer ``extend`` just before its (sole, terminator)
+    # return — or the fall-through end.  Record ``j`` of the block
+    # lands at buffer index ``idx0 + j``, exactly what the
+    # interpreter's per-record ``append`` would have returned, so
+    # last-writer updates are deferred to the flush and in-block
+    # dependencies are folded to ``idx0 + <offset>`` at compile time.
+    # Values a record needs at flush time (addresses, hit levels,
+    # memory dependencies) are snapshotted into per-instruction locals
+    # (``a3``, ``lvl3``, ``m3``) so later instructions cannot clobber
+    # them; register reads never appear in records.
+    recs: List[str] = []
+    lwmap: Dict[int, int] = {}
+
+    def lw_expr(r: int) -> str:
+        j = lwmap.get(r)
+        if j is None:
+            return f"lw[{r}]"
+        return "idx0" if j == 0 else f"idx0 + {j}"
+
+    def flush() -> None:
+        if len(recs) == 1:
+            emit(f"        tb_a({recs[0]})")
+        elif recs:
+            emit(f"        tb_e(({', '.join(recs)}))")
+        for r in sorted(lwmap):
+            j = lwmap[r]
+            emit(f"        lw[{r}] = idx0" + (f" + {j}" if j else ""))
+
+    if tracing and end > start:
+        emit("        idx0 = tb_len()")
     for pc in range(start, end):
         k = kind[pc]
         rd = rd_arr[pc]
         rs1 = rs1_arr[pc]
         rs2 = rs2_arr[pc]
-        emit = out.append
-        # Trace records append directly to the raw tuple buffer; the
-        # record index (interp's `trace.append(...)` return value) is
-        # the buffer length before the append.
+        j = pc - start
         if k == K_ALU_R or k == K_ALU_I:
             if tracing:
-                if rd:
-                    emit("        idx = tb_len()")
-                dep2 = f"lw[{rs2}]" if k == K_ALU_R else "-1"
-                emit(
-                    f"        tb_a(({pc}, -1, 0, lw[{rs1}], {dep2}, "
-                    "-1, False))"
+                dep2 = lw_expr(rs2) if k == K_ALU_R else "-1"
+                recs.append(
+                    f"({pc}, -1, 0, {lw_expr(rs1)}, {dep2}, -1, False)"
                 )
             if rd:
                 emit(f"        regs[{rd}] = {_alu_expr(decoded, pc)}")
                 if tracing:
-                    emit(f"        lw[{rd}] = idx")
+                    lwmap[rd] = j
         elif k == K_LOAD:
             loads += 1
-            emit(f"        a = {_addr_expr(decoded, pc)}")
-            _emit_mem_load(rd, out)
+            a = f"a{j}" if tracing else "a"
+            emit(f"        {a} = {_addr_expr(decoded, pc)}")
+            _emit_mem_load(rd, out, addr=a)
             if caching:
-                emit("        lvl = hier_access(a)")
-                emit("        llc[lvl] += 1")
+                lvl = f"lvl{j}" if tracing else "lvl"
+                emit(f"        {lvl} = hier_access({a})")
+                emit(f"        llc[{lvl}] += 1")
             if tracing:
-                lvl = "lvl" if caching else "0"
-                if rd:
-                    emit("        idx = tb_len()")
-                emit(
-                    f"        tb_a(({pc}, a, {lvl}, lw[{rs1}], -1, "
-                    "ls_get(a, -1), False))"
+                lvl_src = f"lvl{j}" if caching else "0"
+                emit(f"        m{j} = ls_get({a}, -1)")
+                recs.append(
+                    f"({pc}, {a}, {lvl_src}, {lw_expr(rs1)}, -1, "
+                    f"m{j}, False)"
                 )
             if rd:
                 emit(f"        regs[{rd}] = v")
                 if tracing:
-                    emit(f"        lw[{rd}] = idx")
+                    lwmap[rd] = j
         elif k == K_STORE:
             stores += 1
-            emit(f"        a = {_addr_expr(decoded, pc)}")
-            _emit_mem_store(f"regs[{rs2}]", out)
+            a = f"a{j}" if tracing else "a"
+            emit(f"        {a} = {_addr_expr(decoded, pc)}")
+            _emit_mem_store(f"regs[{rs2}]", out, addr=a)
             if caching:
-                emit("        hier_access(a, True)")
+                emit(f"        hier_access({a}, True)")
             if tracing:
-                emit("        last_store[a] = tb_len()")
-                emit(
-                    f"        tb_a(({pc}, a, 0, lw[{rs1}], lw[{rs2}], "
-                    "-1, False))"
+                own = "idx0" if j == 0 else f"idx0 + {j}"
+                emit(f"        last_store[{a}] = {own}")
+                recs.append(
+                    f"({pc}, {a}, 0, {lw_expr(rs1)}, {lw_expr(rs2)}, "
+                    "-1, False)"
                 )
         elif k == K_BRANCH:
             branches += 1
             emit(f"        t = {_branch_expr(decoded, pc)}")
             if tracing:
-                emit(
-                    f"        tb_a(({pc}, -1, 0, lw[{rs1}], lw[{rs2}], "
-                    "-1, t))"
+                recs.append(
+                    f"({pc}, -1, 0, {lw_expr(rs1)}, {lw_expr(rs2)}, -1, t)"
                 )
+                flush()
             emit(f"        return {decoded.target[pc]} if t else {pc + 1}")
             terminated = True
         elif k == K_JUMP:
             branches += 1
             if tracing:
-                emit(f"        tb_a(({pc}, -1, 0, -1, -1, -1, True))")
+                recs.append(f"({pc}, -1, 0, -1, -1, -1, True)")
+                flush()
             emit(f"        return {decoded.target[pc]}")
             terminated = True
         elif k == K_JAL:
             branches += 1
             if tracing:
-                if rd:
-                    emit("        idx = tb_len()")
-                emit(f"        tb_a(({pc}, -1, 0, -1, -1, -1, True))")
+                recs.append(f"({pc}, -1, 0, -1, -1, -1, True)")
             if rd:
                 emit(f"        regs[{rd}] = {pc + 1}")
                 if tracing:
-                    emit(f"        lw[{rd}] = idx")
+                    lwmap[rd] = j
+            if tracing:
+                flush()
             emit(f"        return {decoded.target[pc]}")
             terminated = True
         elif k == K_JR:
             branches += 1
             if tracing:
-                emit(f"        tb_a(({pc}, -1, 0, lw[{rs1}], -1, -1, True))")
+                recs.append(f"({pc}, -1, 0, {lw_expr(rs1)}, -1, -1, True)")
+                flush()
             emit(f"        return regs[{rs1}]")
             terminated = True
         elif k == K_HALT:
             if tracing:
-                emit(f"        tb_a(({pc}, -1, 0, -1, -1, -1, False))")
+                recs.append(f"({pc}, -1, 0, -1, -1, -1, False)")
+                flush()
             emit("        return -1")
             terminated = True
         elif k == K_NOP:
             if tracing:
-                emit(f"        tb_a(({pc}, -1, 0, -1, -1, -1, False))")
+                recs.append(f"({pc}, -1, 0, -1, -1, -1, False)")
         else:
             raise _Unsupported(f"unknown kind {k} at pc {pc}")
     if not terminated:
+        if tracing:
+            flush()
         out.append(f"        return {end}")
     if len(out) == body_at:  # fully empty body (can't happen, but safe)
         out.append("        pass")
@@ -511,6 +797,7 @@ def compile_timing(
     prefetching: bool,
     trigger_pcs: frozenset,
     hinted_pcs: frozenset,
+    only_blocks: Optional[Sequence[int]] = None,
 ) -> Optional[CompiledBlocks]:
     """Compile a timing-simulation variant of ``decoded``.
 
@@ -521,13 +808,43 @@ def compile_timing(
     shared 3-slot list; frequent per-instruction counts are recovered
     statically from block execution counts.  Returns ``None`` on
     fallback.
+
+    ``only_blocks`` restricts emission to blocks whose leader PC is in
+    the set (tiered hot subset); generated source is served from and
+    stored to the persistent code cache when one is enabled.
     """
     n = len(decoded)
     if not n or n > MAX_PROGRAM:
         return None
+    filename = "<repro-compiled-timing>"
+    cache, cache_key, cached = _consult_code_cache(
+        decoded,
+        "timing",
+        {
+            "window": window,
+            "bw_seq": bw_seq,
+            "dispatch_latency": dispatch_latency,
+            "mispredict_penalty": mispredict_penalty,
+            "forward_latency": forward_latency,
+            "launching": launching,
+            "stealing": stealing,
+            "prefetching": prefetching,
+            "trigger_pcs": sorted(trigger_pcs),
+            "hinted_pcs": sorted(hinted_pcs),
+        },
+        only_blocks,
+        filename,
+    )
+    if cached is not None:
+        return cached
     blocks = discover_blocks(
         decoded, extra_leaders=sorted(trigger_pcs) if launching else ()
     )
+    if only_blocks is not None:
+        only = frozenset(only_blocks)
+        blocks = [b for b in blocks if b[0] in only]
+        if not blocks:
+            return None
     lines = [
         "def _bind(ctx):",
         "    ring = ctx['ring']",
@@ -574,7 +891,21 @@ def compile_timing(
             counters.append(_emit_timing_block(decoded, start, end, ctx, lines))
     except _Unsupported:
         return None
-    return _finish(lines, blocks, counters, "<repro-compiled-timing>")
+    compiled = _finish(lines, blocks, counters, filename)
+    if compiled is not None:
+        _memo_put(cache_key, compiled)
+        if cache is not None:
+            compiled.cache_key = cache_key
+            cache.store(
+                cache_key,
+                compiled.source,
+                compiled.starts,
+                compiled.lengths,
+                compiled.loads,
+                compiled.stores,
+                compiled.branches,
+            )
+    return compiled
 
 
 class _TimingCtx:

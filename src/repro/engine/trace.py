@@ -101,6 +101,21 @@ class Trace:
         records.append((pc, addr, level, dep1, dep2, memdep, taken))
         return len(records) - 1
 
+    def extend(self, records: List[Tuple]) -> None:
+        """Bulk-append pre-shaped ``(pc, addr, level, dep1, dep2,
+        memdep, taken)`` record tuples.
+
+        One list ``extend`` replaces per-record :meth:`append` calls;
+        the compiled engine flushes each basic block's records through
+        this path (or directly on :meth:`raw_buffer`).
+        """
+        buffer = self._records
+        if buffer is None:
+            buffer = self._reopen()
+        if self._arrays is not None:
+            self._arrays = None
+        buffer.extend(records)
+
     def raw_buffer(self) -> List[Tuple]:
         """The live record-tuple buffer.
 
@@ -126,11 +141,19 @@ class Trace:
         arrays = self._arrays
         if arrays is None:
             records = self._records
-            columns = list(zip(*records)) if records else [()] * len(self.FIELDS)
-            arrays = {
-                name: np.array(columns[i], dtype=self._DTYPES[name])
-                for i, name in enumerate(self.FIELDS)
-            }
+            if records:
+                # One 2-D conversion then per-column casts: measurably
+                # faster than transposing the record tuples in Python.
+                table = np.array(records, dtype=np.int64)
+                arrays = {
+                    name: table[:, i].astype(self._DTYPES[name])
+                    for i, name in enumerate(self.FIELDS)
+                }
+            else:
+                arrays = {
+                    name: np.array((), dtype=self._DTYPES[name])
+                    for name in self.FIELDS
+                }
             self._arrays = arrays
         return arrays
 

@@ -58,7 +58,11 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.report import Severity
 from repro.analysis.verifier import verify_selection
-from repro.engine.compiler import ENGINE_COMPILED, ENGINE_INTERP
+from repro.engine.compiler import (
+    ENGINE_COMPILED,
+    ENGINE_INTERP,
+    ENGINE_TIERED,
+)
 from repro.engine.functional import FunctionalResult, FunctionalSimulator
 from repro.fuzz.generator import FuzzWorkload
 from repro.model.params import ModelParams, SelectionConstraints
@@ -77,7 +81,7 @@ CHECK_FAMILIES: Tuple[str, ...] = (
     "codegen_transval",
 )
 
-_ENGINES = (ENGINE_INTERP, ENGINE_COMPILED)
+_ENGINES = (ENGINE_INTERP, ENGINE_COMPILED, ENGINE_TIERED)
 
 
 @dataclass(frozen=True)
@@ -296,11 +300,12 @@ def run_oracle(
         )
     func = functional[ENGINE_INTERP]
     func_dicts = {e: functional[e].to_dict() for e in _ENGINES}
-    check.expect(
-        func_dicts[ENGINE_INTERP] == func_dicts[ENGINE_COMPILED],
-        "functional",
-        _dict_diff(func_dicts[ENGINE_INTERP], func_dicts[ENGINE_COMPILED]),
-    )
+    for engine in _ENGINES[1:]:
+        check.expect(
+            func_dicts[ENGINE_INTERP] == func_dicts[engine],
+            f"functional_{engine}",
+            _dict_diff(func_dicts[ENGINE_INTERP], func_dicts[engine]),
+        )
     report.stats = {
         "instructions": func.instructions,
         "loads": func.loads,
@@ -318,15 +323,16 @@ def run_oracle(
             workload, BASELINE, engine, None, machine, max_instructions,
             check, "timing baseline",
         )
-    check.expect(
-        base[ENGINE_INTERP].stats.to_dict()
-        == base[ENGINE_COMPILED].stats.to_dict(),
-        "timing_baseline",
-        _dict_diff(
-            base[ENGINE_INTERP].stats.to_dict(),
-            base[ENGINE_COMPILED].stats.to_dict(),
-        ),
-    )
+    for engine in _ENGINES[1:]:
+        check.expect(
+            base[ENGINE_INTERP].stats.to_dict()
+            == base[engine].stats.to_dict(),
+            f"timing_baseline_{engine}",
+            _dict_diff(
+                base[ENGINE_INTERP].stats.to_dict(),
+                base[engine].stats.to_dict(),
+            ),
+        )
     if expired():
         return report
 
@@ -349,15 +355,16 @@ def run_oracle(
             workload, PRE_EXECUTION, engine, selection.pthreads, machine,
             max_instructions, check, "timing pre-execution",
         )
-    check.expect(
-        pre[ENGINE_INTERP].stats.to_dict()
-        == pre[ENGINE_COMPILED].stats.to_dict(),
-        "timing_preexec",
-        _dict_diff(
-            pre[ENGINE_INTERP].stats.to_dict(),
-            pre[ENGINE_COMPILED].stats.to_dict(),
-        ),
-    )
+    for engine in _ENGINES[1:]:
+        check.expect(
+            pre[ENGINE_INTERP].stats.to_dict()
+            == pre[engine].stats.to_dict(),
+            f"timing_preexec_{engine}",
+            _dict_diff(
+                pre[ENGINE_INTERP].stats.to_dict(),
+                pre[engine].stats.to_dict(),
+            ),
+        )
     report.stats["pthread_launches"] = (
         pre[ENGINE_INTERP].stats.pthread_launches
     )

@@ -11,7 +11,8 @@ each other's work instead of re-simulating from scratch.
 
 Layout: ``<root>/<kind>/<aa>/<key>.<ext>`` where ``<aa>`` is the first
 two hex digits of the key (keeps directories small), ``kind`` is one of
-``trace`` / ``baseline`` / ``perfect_l2`` / ``selection``, and the
+``trace`` / ``baseline`` / ``perfect_l2`` / ``selection`` /
+``codegen``, and the
 extension is ``.json`` for the dict-codec kinds or ``.pkl`` for
 selections (whose p-thread bodies are instruction graphs; pickle is the
 pragmatic codec, and the package version baked into every key prevents
@@ -49,6 +50,7 @@ _KIND_CODECS = {
     "baseline": "json",
     "perfect_l2": "json",
     "selection": "pickle",
+    "codegen": "json",
 }
 
 _DISABLED_VALUES = {"", "0", "off", "none", "disabled"}
@@ -311,7 +313,19 @@ class ArtifactCache:
             )
         return counts
 
-    def size_bytes(self) -> int:
+    def size_bytes(self, kind: Optional[str] = None) -> int:
+        """Total stored bytes, optionally restricted to one kind."""
+        if kind is not None:
+            if kind not in _KIND_CODECS:
+                raise KeyError(f"unknown artifact kind {kind!r}")
+            base = self.root / kind
+            if not base.is_dir():
+                return 0
+            return sum(
+                path.stat().st_size
+                for path in base.rglob("*")
+                if path.is_file()
+            )
         if not self.root.is_dir():
             return 0
         return sum(
@@ -327,10 +341,17 @@ class ArtifactCache:
         )
         registry.gauge("harness.cache.bytes").set(self.size_bytes())
 
-    def clear(self) -> int:
-        """Delete every stored artifact; returns the number removed."""
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete stored artifacts; returns the number removed.
+
+        With ``kind`` only that kind's entries are removed; an unknown
+        kind raises ``KeyError`` rather than silently clearing nothing.
+        """
+        if kind is not None and kind not in _KIND_CODECS:
+            raise KeyError(f"unknown artifact kind {kind!r}")
+        kinds = _KIND_CODECS if kind is None else (kind,)
         removed = 0
-        for kind in _KIND_CODECS:
+        for kind in kinds:
             base = self.root / kind
             if not base.is_dir():
                 continue

@@ -1,11 +1,12 @@
 """Simulation-speed benchmark: engine throughput and wall-clock.
 
 Measures how fast the simulators simulate — million simulated
-instructions per second (MIPS) — for both execution engines (the
-compiled basic-block engine and the reference interpreter), plus the
-end-to-end wall-clock of a cold Table 2 regeneration.  Written to
-``results/BENCH_simspeed.json`` by ``python -m repro bench speed`` so
-engine regressions show up in review.
+instructions per second (MIPS) — for all three execution engines (the
+compiled basic-block engine, the tiered engine, and the reference
+interpreter), plus the end-to-end wall-clock of a cold Table 2
+regeneration.  Written to ``results/BENCH_simspeed.json`` by
+``python -m repro bench speed`` so engine regressions show up in
+review.
 
 Throughput is steady-state: each (simulator, engine, config) cell runs
 once to warm the per-program compile cache, then takes the best of
@@ -25,15 +26,20 @@ import math
 import os
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.compiler import ENGINE_COMPILED, ENGINE_ENV, ENGINE_INTERP
+from repro.engine.compiler import (
+    ENGINE_COMPILED,
+    ENGINE_ENV,
+    ENGINE_INTERP,
+    ENGINE_TIERED,
+)
 from repro.engine.functional import FunctionalSimulator
 from repro.timing.config import BASELINE
 from repro.timing.core import TimingSimulator
 from repro.workloads.suite import SUITE, build
 
-ENGINES = (ENGINE_INTERP, ENGINE_COMPILED)
+ENGINES = (ENGINE_INTERP, ENGINE_COMPILED, ENGINE_TIERED)
 
 #: Functional-simulator configurations: name -> (caching, tracing).
 FUNCTIONAL_CONFIGS = {
@@ -117,41 +123,86 @@ def measure_timing(
     return mips
 
 
-def _table2_once(workloads: Sequence[str], engine: str) -> float:
-    """Wall-clock of one cold (cache-less) Table 2 over ``workloads``."""
+#: Span names of the pipeline stages an execution engine can affect.
+#: Everything else in a Table 2 run — slice-tree construction,
+#: candidate selection, p-thread verification — is engine-independent
+#: analysis and typically dominates the wall-clock.
+_SIM_STAGES = frozenset({"trace", "baseline", "timing"})
+
+
+def _stage_seconds(span: Dict, names: frozenset) -> float:
+    total = 0.0
+    if span.get("name") in names:
+        total += span.get("duration", 0.0)
+    for child in span.get("children", ()):
+        total += _stage_seconds(child, names)
+    return total
+
+
+def _table2_once(workloads: Sequence[str], engine: str) -> Tuple[float, float]:
+    """One cold (cache-less) Table 2 over ``workloads``.
+
+    Returns ``(total_seconds, sim_seconds)``: the end-to-end
+    wall-clock and the portion spent in the simulation stages
+    (:data:`_SIM_STAGES`, read from a private span tracer).  Cold
+    means *fully* cold: the harness artifact cache is bypassed and the
+    codegen cache — persistent and in-process — is cleared, so every
+    engine pays its real start-up cost.
+    """
+    from repro.engine.codecache import reset_code_cache
     from repro.harness.parallel import SweepExecutor
     from repro.harness.tables import table2
+    from repro.obs import Tracer, get_tracer, set_tracer
 
-    previous = os.environ.get(ENGINE_ENV)
+    previous = {
+        name: os.environ.get(name) for name in (ENGINE_ENV, "REPRO_CACHE_DIR")
+    }
     os.environ[ENGINE_ENV] = engine
+    os.environ["REPRO_CACHE_DIR"] = "off"
+    reset_code_cache()
+    outer_tracer = get_tracer()
+    tracer = Tracer()
+    set_tracer(tracer)
     try:
         executor = SweepExecutor(jobs=1, artifacts=None)
         start = time.perf_counter()
         table2(workloads=list(workloads), executor=executor)
-        return time.perf_counter() - start
+        total = time.perf_counter() - start
     finally:
-        if previous is None:
-            del os.environ[ENGINE_ENV]
-        else:
-            os.environ[ENGINE_ENV] = previous
+        set_tracer(outer_tracer)
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        reset_code_cache()
+    sim = sum(
+        _stage_seconds(span, _SIM_STAGES)
+        for span in tracer.to_dict()["spans"]
+    )
+    return total, sim
 
 
 def _table2_seconds(
     workloads: Sequence[str], rounds: int = 2
-) -> Dict[str, float]:
-    """Best-of-``rounds`` cold Table 2 wall-clock per engine.
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Best-of-``rounds`` cold Table 2 per engine: totals + sim stages.
 
-    Rounds are interleaved (interp, compiled, interp, compiled, ...)
-    so a load spike on a shared machine hurts both engines instead of
-    whichever one happened to run during it.
+    Rounds are interleaved (interp, compiled, tiered, interp, ...) so
+    a load spike on a shared machine hurts every engine instead of
+    whichever one happened to run during it.  The sim-stage seconds
+    are taken from the same round as each engine's best total, so the
+    two numbers describe one run.
     """
     best = {engine: float("inf") for engine in ENGINES}
+    best_sim = {engine: float("inf") for engine in ENGINES}
     for _ in range(rounds):
         for engine in ENGINES:
-            elapsed = _table2_once(workloads, engine)
+            elapsed, sim = _table2_once(workloads, engine)
             if elapsed < best[engine]:
                 best[engine] = elapsed
-    return best
+                best_sim[engine] = sim
+    return best, best_sim
 
 
 def bench_speed(
@@ -181,6 +232,9 @@ def bench_speed(
         summary["ratio"] = (
             summary[ENGINE_COMPILED] / interp if interp else 0.0
         )
+        summary["tiered_ratio"] = (
+            summary[ENGINE_TIERED] / interp if interp else 0.0
+        )
         functional_geomean[config] = summary
 
     timing: Dict[str, Dict[str, float]] = {}
@@ -196,6 +250,9 @@ def bench_speed(
     timing_geomean["ratio"] = (
         timing_geomean[ENGINE_COMPILED] / interp if interp else 0.0
     )
+    timing_geomean["tiered_ratio"] = (
+        timing_geomean[ENGINE_TIERED] / interp if interp else 0.0
+    )
 
     payload: Dict = {
         "workloads": names,
@@ -208,13 +265,30 @@ def bench_speed(
         "timing_baseline_geomean": timing_geomean,
     }
     if table2:
-        seconds = _table2_seconds(names)
+        seconds, sim_seconds = _table2_seconds(names)
         compiled = seconds[ENGINE_COMPILED]
+        tiered = seconds[ENGINE_TIERED]
+        sim_compiled = sim_seconds[ENGINE_COMPILED]
+        sim_tiered = sim_seconds[ENGINE_TIERED]
         payload["table2_cold"] = {
             "workloads": names,
             "seconds": seconds,
+            "sim_seconds": sim_seconds,
             "speedup": (
                 seconds[ENGINE_INTERP] / compiled if compiled else 0.0
+            ),
+            "tiered_speedup": (
+                seconds[ENGINE_INTERP] / tiered if tiered else 0.0
+            ),
+            "sim_speedup": (
+                sim_seconds[ENGINE_INTERP] / sim_compiled
+                if sim_compiled
+                else 0.0
+            ),
+            "tiered_sim_speedup": (
+                sim_seconds[ENGINE_INTERP] / sim_tiered
+                if sim_tiered
+                else 0.0
             ),
         }
     return payload
@@ -225,8 +299,23 @@ def check_payload(payload: Dict) -> List[str]:
 
     * compiled functional throughput must be at least 2x the
       interpreter on the pure-execution configuration (geomean);
-    * the compiled engine must not be slower than the interpreter on
-      any configuration's geomean (functional or timing).
+    * the vectorized traced path must hold at least 1.5x on the
+      traced configuration (geomean);
+    * neither the compiled nor the tiered engine may be slower than
+      the interpreter on any configuration's geomean (functional or
+      timing);
+    * when the cold Table 2 measurement is present, the tiered engine
+      must never lose the end-to-end wall-clock to the interpreter —
+      the cold-start gate: tiering plus the compile memo must erase
+      the compile-everything-first regression (the PR 3 compiled
+      engine lost this comparison at 0.90x).  No larger multiple is
+      enforced, deliberately: a Table 2 run is dominated by
+      engine-independent analysis (slice trees, selection, p-thread
+      verification), and its simulation stages are short cold runs
+      where tiering's whole job is to not pay compile cost — measured
+      sim-stage ratios hover near 1.0x with high variance, so a floor
+      above parity would gate on noise.  ``sim_seconds`` /
+      ``sim_speedup`` stay in the payload as diagnostics.
     """
     problems: List[str] = []
     exec_ratio = payload["functional_geomean"]["exec"]["ratio"]
@@ -234,17 +323,38 @@ def check_payload(payload: Dict) -> List[str]:
         problems.append(
             f"functional exec speedup {exec_ratio:.2f}x < 2.0x"
         )
+    traced_ratio = payload["functional_geomean"]["traced"]["ratio"]
+    if traced_ratio < 1.5:
+        problems.append(
+            f"functional traced speedup {traced_ratio:.2f}x < 1.5x"
+        )
     for config, summary in payload["functional_geomean"].items():
         if summary["ratio"] < 1.0:
             problems.append(
                 f"functional {config}: compiled slower than interpreter "
                 f"({summary['ratio']:.2f}x)"
             )
-    timing_ratio = payload["timing_baseline_geomean"]["ratio"]
-    if timing_ratio < 1.0:
+        if summary["tiered_ratio"] < 1.0:
+            problems.append(
+                f"functional {config}: tiered slower than interpreter "
+                f"({summary['tiered_ratio']:.2f}x)"
+            )
+    timing_summary = payload["timing_baseline_geomean"]
+    if timing_summary["ratio"] < 1.0:
         problems.append(
             f"timing baseline: compiled slower than interpreter "
-            f"({timing_ratio:.2f}x)"
+            f"({timing_summary['ratio']:.2f}x)"
+        )
+    if timing_summary["tiered_ratio"] < 1.0:
+        problems.append(
+            f"timing baseline: tiered slower than interpreter "
+            f"({timing_summary['tiered_ratio']:.2f}x)"
+        )
+    table = payload.get("table2_cold")
+    if table is not None and table["tiered_speedup"] < 1.0:
+        problems.append(
+            f"table2 cold: tiered slower than interpreter end to "
+            f"end ({table['tiered_speedup']:.2f}x)"
         )
     return problems
 
@@ -256,22 +366,36 @@ def render(payload: Dict) -> str:
     for config, summary in payload["functional_geomean"].items():
         lines.append(
             f"functional/{config:<7} interp {summary[ENGINE_INTERP]:6.2f}  "
-            f"compiled {summary[ENGINE_COMPILED]:6.2f}  "
-            f"ratio {summary['ratio']:5.2f}x"
+            f"compiled {summary[ENGINE_COMPILED]:6.2f} "
+            f"({summary['ratio']:.2f}x)  "
+            f"tiered {summary[ENGINE_TIERED]:6.2f} "
+            f"({summary['tiered_ratio']:.2f}x)"
         )
     summary = payload["timing_baseline_geomean"]
     lines.append(
         f"timing/baseline    interp {summary[ENGINE_INTERP]:6.2f}  "
-        f"compiled {summary[ENGINE_COMPILED]:6.2f}  "
-        f"ratio {summary['ratio']:5.2f}x"
+        f"compiled {summary[ENGINE_COMPILED]:6.2f} "
+        f"({summary['ratio']:.2f}x)  "
+        f"tiered {summary[ENGINE_TIERED]:6.2f} "
+        f"({summary['tiered_ratio']:.2f}x)"
     )
     table = payload.get("table2_cold")
     if table:
         lines.append(
             f"table2 cold        interp "
             f"{table['seconds'][ENGINE_INTERP]:6.1f}s  compiled "
-            f"{table['seconds'][ENGINE_COMPILED]:6.1f}s  "
-            f"speedup {table['speedup']:5.2f}x"
+            f"{table['seconds'][ENGINE_COMPILED]:6.1f}s "
+            f"({table['speedup']:.2f}x)  tiered "
+            f"{table['seconds'][ENGINE_TIERED]:6.1f}s "
+            f"({table['tiered_speedup']:.2f}x)"
+        )
+        lines.append(
+            f"table2 cold (sim)  interp "
+            f"{table['sim_seconds'][ENGINE_INTERP]:6.1f}s  compiled "
+            f"{table['sim_seconds'][ENGINE_COMPILED]:6.1f}s "
+            f"({table['sim_speedup']:.2f}x)  tiered "
+            f"{table['sim_seconds'][ENGINE_TIERED]:6.1f}s "
+            f"({table['tiered_sim_speedup']:.2f}x)"
         )
     return "\n".join(lines)
 

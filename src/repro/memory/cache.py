@@ -117,6 +117,12 @@ class Cache:
         end = base + assoc
         tags = self._tags
         self.accesses += 1
+        if tags[base] == line:
+            # MRU hit: no reordering needed; by far the common case in
+            # loop-heavy programs, so it skips the set slice entirely.
+            if is_write:
+                self._dirty[base] = 1
+            return True
         ways = tags[base:end]
         if line in ways:
             pos = base + ways.index(line)

@@ -37,6 +37,11 @@ METRIC_CATALOG: Dict[str, str] = {
     # Compiled basic-block engine.
     "engine.compile.programs": "counter",
     "engine.compile.blocks": "counter",
+    # Tiered engine and the persistent codegen cache.
+    "engine.tier.compiled_blocks": "counter",
+    "engine.tier.interp_blocks": "counter",
+    "engine.codegen.cache_hits": "counter",
+    "engine.codegen.cache_misses": "counter",
     # Timing core (SimStats totals, accumulated across runs).
     "timing.runs": "counter",
     "timing.instructions": "counter",

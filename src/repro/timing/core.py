@@ -44,9 +44,14 @@ from repro.analysis.report import assert_clean, verification_enabled
 from repro.engine.compiler import (
     ENGINE_COMPILED,
     ENGINE_INTERP,
+    ENGINE_TIERED,
+    TIER_SLICE,
     CompiledBlocks,
     compile_timing,
+    discover_blocks,
+    register_engine_metrics,
     resolve_engine,
+    tier_threshold,
 )
 from repro.engine.decode import (
     DecodedProgram,
@@ -66,7 +71,7 @@ from repro.isa.program import Program
 from repro.isa.registers import NUM_REGS
 from repro.memory.hierarchy import HierarchyConfig, TimedHierarchy
 from repro.memory.main_memory import MainMemory
-from repro.obs import get_registry as obs_registry
+from repro.obs import get_registry as obs_registry, get_tracer
 from repro.pthreads.pthread import StaticPThread
 from repro.timing.config import BASELINE, MachineConfig, SimMode
 from repro.timing.stats import SimStats
@@ -263,6 +268,7 @@ class TimingSimulator:
                     )
         self.engine = resolve_engine(engine)
         self.last_engine: Optional[str] = None
+        self.last_tier: Optional[dict] = None
         self.last_registers: List[int] = []
         self.last_memory: Optional[MainMemory] = None
         self._compiled: Dict[tuple, Optional[CompiledBlocks]] = {}
@@ -309,10 +315,14 @@ class TimingSimulator:
                 trigger_pcs=self._trigger_union,
                 hinted_pcs=self._hinted_pcs,
             )
-            if verification_enabled():
+            if verification_enabled() and not (
+                compiled is not None and compiled.validated
+            ):
                 # Debug-mode translation validation: statically prove
                 # the generated block functions equivalent to the
                 # timing-loop semantics before trusting them with a run.
+                # Cache-loaded modules whose bytes already validated
+                # clean carry ``validated`` and skip the re-proof.
                 from repro.analysis.transval import (
                     TimingParams,
                     validate_timing,
@@ -336,6 +346,86 @@ class TimingSimulator:
                     f"codegen validation (timing, launching={launching}, "
                     f"stealing={stealing}, prefetching={prefetching})",
                 )
+                if compiled is not None:
+                    compiled.validated = True
+                    from repro.engine.codecache import get_code_cache
+
+                    cache = get_code_cache()
+                    if cache is not None:
+                        cache.mark_validated(compiled)
+            self._compiled[key] = compiled
+        return self._compiled[key]
+
+    def _tiered_variant(
+        self,
+        launching: bool,
+        stealing: bool,
+        prefetching: bool,
+        hot: tuple,
+    ) -> Optional[CompiledBlocks]:
+        """The compiled hot-subset variant for tiered runs, memoized.
+
+        ``hot`` is the sorted tuple of hot block-leader PCs; the module
+        covers exactly those blocks.  Under ``REPRO_VERIFY`` the subset
+        is translation-validated like a full compilation (the
+        structural partition check runs in subset mode).
+        """
+        key = ("tiered", launching, stealing, prefetching, hot)
+        if key not in self._compiled:
+            machine = self.machine
+            compiled = compile_timing(
+                self.decoded,
+                window=machine.window,
+                bw_seq=machine.bw_seq,
+                dispatch_latency=machine.dispatch_latency,
+                mispredict_penalty=machine.mispredict_penalty,
+                forward_latency=machine.store_forward_latency,
+                launching=launching,
+                stealing=stealing,
+                prefetching=prefetching,
+                trigger_pcs=self._trigger_union,
+                hinted_pcs=self._hinted_pcs,
+                only_blocks=hot,
+            )
+            if (
+                compiled is not None
+                and verification_enabled()
+                and not compiled.validated
+            ):
+                from repro.analysis.transval import (
+                    TimingParams,
+                    validate_timing,
+                )
+
+                params = TimingParams(
+                    window=machine.window,
+                    bw_seq=machine.bw_seq,
+                    dispatch_latency=machine.dispatch_latency,
+                    mispredict_penalty=machine.mispredict_penalty,
+                    forward_latency=machine.store_forward_latency,
+                    launching=launching,
+                    stealing=stealing,
+                    prefetching=prefetching,
+                    trigger_pcs=self._trigger_union,
+                    hinted_pcs=self._hinted_pcs,
+                )
+                result = validate_timing(
+                    self.decoded, compiled, params, only_blocks=hot
+                )
+                assert_clean(
+                    result.diagnostics,
+                    f"codegen validation (timing tiered, "
+                    f"launching={launching}, stealing={stealing}, "
+                    f"prefetching={prefetching}, blocks={len(hot)})",
+                )
+                # The memoized compilation remembers it proved
+                # clean even when no persistent cache is enabled.
+                compiled.validated = True
+                from repro.engine.codecache import get_code_cache
+
+                cache = get_code_cache()
+                if cache is not None:
+                    cache.mark_validated(compiled)
             self._compiled[key] = compiled
         return self._compiled[key]
 
@@ -439,6 +529,7 @@ class TimingSimulator:
         # mispredicts covered by hints].
         st.tallies = [0, 0, 0]
 
+        register_engine_metrics()
         compiled = None
         if self.engine == ENGINE_COMPILED:
             compiled = self._compiled_variant(
@@ -449,6 +540,9 @@ class TimingSimulator:
         if compiled is not None:
             self.last_engine = ENGINE_COMPILED
             self._run_compiled(compiled, st, max_instructions)
+        elif self.engine == ENGINE_TIERED:
+            self.last_engine = ENGINE_TIERED
+            self._run_tiered(st, max_instructions, prefetcher is not None)
         else:
             self.last_engine = ENGINE_INTERP
             self._interp(st, max_instructions)
@@ -530,10 +624,16 @@ class TimingSimulator:
         st: _TimingState,
         limit: int,
         stop_pcs: Optional[dict] = None,
+        entry_counts: Optional[Dict[int, int]] = None,
     ) -> None:
         """Interpret from ``st`` until halt, ``limit`` instructions, or
         a PC in ``stop_pcs`` (checked before executing — callers enter
-        with ``st.pc`` outside the set)."""
+        with ``st.pc`` outside the set).
+
+        With ``entry_counts``, every control-flow transfer target is
+        counted (``{next_pc: entries}``); the tiered engine scans the
+        counts for block leaders worth compiling.
+        """
         machine = self.machine
         decoded = self.decoded
         kind = decoded.kind
@@ -589,6 +689,7 @@ class TimingSimulator:
         region_end = st.region_end
         triggers = st.triggers
         halted = False
+        counting = entry_counts is not None
 
         while executed < limit:
             if stop_pcs is not None and pc in stop_pcs:
@@ -742,10 +843,14 @@ class TimingSimulator:
                     else:
                         fetch_cycle = complete + mispredict_penalty
                         cap_used = 0
+                if counting:
+                    entry_counts[next_pc] = entry_counts.get(next_pc, 0) + 1
             elif k == K_JUMP:
                 stats.branches += 1
                 complete = disp
                 next_pc = target_arr[pc]
+                if counting:
+                    entry_counts[next_pc] = entry_counts.get(next_pc, 0) + 1
             elif k == K_JAL:
                 stats.branches += 1
                 complete = disp
@@ -754,6 +859,8 @@ class TimingSimulator:
                     regs[rd] = pc + 1
                     reg_ready[rd] = complete
                 next_pc = target_arr[pc]
+                if counting:
+                    entry_counts[next_pc] = entry_counts.get(next_pc, 0) + 1
             elif k == K_JR:
                 stats.branches += 1
                 rs1 = rs1_arr[pc]
@@ -767,6 +874,8 @@ class TimingSimulator:
                     stats.mispredictions += 1
                     fetch_cycle = complete + mispredict_penalty
                     cap_used = 0
+                if counting:
+                    entry_counts[next_pc] = entry_counts.get(next_pc, 0) + 1
             elif k == K_HALT:
                 complete = disp
                 last_retire = max(last_retire, complete)
@@ -940,6 +1049,225 @@ class TimingSimulator:
                     for cycle in [c for c in stolen if c < fc]:
                         del stolen[cycle]
 
+        stats = st.stats
+        block_loads = compiled.loads
+        block_stores = compiled.stores
+        block_branches = compiled.branches
+        for index, count in enumerate(counts):
+            if count:
+                stats.loads += count * block_loads[index]
+                stats.stores += count * block_stores[index]
+                stats.branches += count * block_branches[index]
+
+    def _run_tiered(
+        self, st: _TimingState, limit: int, prefetching: bool
+    ) -> None:
+        """Interpret first; compile blocks once they prove hot.
+
+        The timing twin of
+        :meth:`repro.engine.functional.FunctionalSimulator._run_tiered`:
+        starts in the resumable interpreter with block-entry counting
+        on, scans the counts every ``TIER_SLICE`` instructions, and
+        batch-compiles all block leaders past :func:`tier_threshold`
+        entries.  Compiled blocks run under the same region-boundary
+        and limit discipline as :meth:`_run_compiled`; dispatch misses
+        on cold leaders keep counting so late-blooming blocks still
+        tier up.  Cycle counts are bit-identical to both other engines.
+        """
+        launching = st.launching
+        stealing = launching and st.mode.steal
+        threshold = tier_threshold()
+        leaders = frozenset(
+            start
+            for start, _end in discover_blocks(
+                self.decoded,
+                extra_leaders=(
+                    sorted(self._trigger_union) if launching else ()
+                ),
+            )
+        )
+        entry_counts: Dict[int, int] = {}
+        attempted: set = set()
+        rejected: set = set()
+        tier_ups = 0
+
+        hierarchy = st.hierarchy
+        mode = st.mode
+        contexts = st.contexts
+        stolen = st.stolen
+        regs = st.regs
+        rdy = st.reg_ready
+        launch_one = self._launch
+
+        def launch(waiting: List[StaticPThread], disp: int) -> None:
+            for pthread in waiting:
+                launch_one(
+                    pthread,
+                    disp,
+                    mode,
+                    contexts,
+                    stolen,
+                    regs,
+                    rdy,
+                    st.mem_load,
+                    hierarchy,
+                    st.stats,
+                    st.branch_hints,
+                    st.branch_counts,
+                )
+
+        ctx = {
+            "ring": st.retire_ring,
+            "store_queue": st.store_queue,
+            "predict": st.predictor.predict_and_update,
+            "predict_ind": st.predictor.predict_indirect,
+            "mt_access": hierarchy.mt_access_fast,
+            "pt_access": hierarchy.pt_access_fast,
+            "mem_load": st.mem_load,
+            "mem_store": st.mem_store,
+            "words": st.memory.raw_words(),
+            "miss_exposure": st.miss_exposure,
+            "tallies": st.tallies,
+            "stolen": stolen,
+            "trig": st.trig,
+            "launch": launch,
+            "branch_hints": st.branch_hints,
+            "branch_counts": st.branch_counts,
+            "observe": (
+                st.prefetcher.observe if st.prefetcher is not None else None
+            ),
+        }
+        compiled: Optional[CompiledBlocks] = None
+        table: dict = {}
+        table_get = table.get
+        counts: List[int] = []
+        max_len = 0
+        last_region = len(self.schedule) - 1
+        cleanup_mark = 0
+        next_scan = TIER_SLICE
+
+        while not st.halted and st.executed < limit:
+            if compiled is not None:
+                executed = st.executed
+                if (
+                    launching
+                    and executed >= st.region_end
+                    and st.region_index < last_region
+                ):
+                    self._advance_region(st, executed)
+                cap = limit
+                if (
+                    launching
+                    and st.region_index < last_region
+                    and st.region_end < cap
+                ):
+                    cap = st.region_end
+                if executed > cap - max_len:
+                    # Approaching the region boundary or the run
+                    # limit: single-step across it exactly.
+                    self._interp(st, cap)
+                    continue
+                entry = table_get(st.pc)
+                if entry is not None:
+                    fn, length, index = entry
+                    (
+                        st.pc,
+                        st.executed,
+                        st.fetch_cycle,
+                        st.cap_used,
+                        st.last_retire,
+                    ) = fn(
+                        executed,
+                        st.fetch_cycle,
+                        st.cap_used,
+                        st.last_retire,
+                        regs,
+                        rdy,
+                    )
+                    counts[index] += 1
+                    if st.pc == -1:
+                        st.halted = True
+                        break
+                    # Periodic stale stolen-slot cleanup, mirroring
+                    # the interpreter's (cleanup timing is
+                    # unobservable: fetch cycles are monotonic).
+                    if st.executed - cleanup_mark >= 0x10000:
+                        cleanup_mark = st.executed
+                        if stolen:
+                            fc = st.fetch_cycle
+                            for cycle in [c for c in stolen if c < fc]:
+                                del stolen[cycle]
+                    continue
+                # Cold (or mid-block) entry from compiled code: count
+                # it and let the interpreter take over.
+                pc = st.pc
+                if pc in leaders:
+                    entry_counts[pc] = entry_counts.get(pc, 0) + 1
+
+            if st.executed >= next_scan:
+                next_scan = st.executed + TIER_SLICE
+                fresh = [
+                    p
+                    for p, c in entry_counts.items()
+                    if c >= threshold
+                    and p in leaders
+                    and p not in attempted
+                    and p not in rejected
+                ]
+                if fresh:
+                    hot = tuple(sorted(attempted.union(fresh)))
+                    with get_tracer().span(
+                        "tier_up",
+                        program=self.program.name,
+                        blocks=len(hot),
+                    ):
+                        new = self._tiered_variant(
+                            launching, stealing, prefetching, hot
+                        )
+                    if new is None:
+                        # Subset failed to compile; never retry it.
+                        rejected.update(fresh)
+                    else:
+                        if compiled is not None:
+                            self._fold_tiered_counts(compiled, counts, st)
+                        attempted.update(fresh)
+                        tier_ups += 1
+                        compiled = new
+                        table = compiled.bind(ctx)
+                        table_get = table.get
+                        counts = [0] * compiled.num_blocks
+                        max_len = compiled.max_len
+                        continue
+
+            end = min(st.executed + TIER_SLICE, limit)
+            self._interp(
+                st,
+                end,
+                stop_pcs=table if compiled is not None else None,
+                entry_counts=entry_counts,
+            )
+
+        if compiled is not None:
+            self._fold_tiered_counts(compiled, counts, st)
+        interp_blocks = sum(
+            1 for p in entry_counts if p in leaders and p not in attempted
+        )
+        compiled_blocks = compiled.num_blocks if compiled is not None else 0
+        registry = obs_registry()
+        registry.counter("engine.tier.compiled_blocks").inc(compiled_blocks)
+        registry.counter("engine.tier.interp_blocks").inc(interp_blocks)
+        self.last_tier = {
+            "tier_ups": tier_ups,
+            "compiled_blocks": compiled_blocks,
+            "interp_blocks": interp_blocks,
+            "hot": tuple(sorted(attempted)),
+        }
+
+    @staticmethod
+    def _fold_tiered_counts(
+        compiled: CompiledBlocks, counts: List[int], st: _TimingState
+    ) -> None:
+        """Fold static per-block event counts into the run stats."""
         stats = st.stats
         block_loads = compiled.loads
         block_stores = compiled.stores

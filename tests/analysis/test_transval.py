@@ -161,7 +161,7 @@ class TestMutationsFire:
         assert "CG001" in codes(self._validate(mixed, bad))
 
     def test_cg002_dropped_store(self, mixed, mixed_compiled):
-        bad = mutated(mixed_compiled, "\n        words[a] = regs[2]", "")
+        bad = mutated(mixed_compiled, "\n        words[a3] = regs[2]", "")
         result = self._validate(mixed, bad)
         assert "CG002" in codes(result)
         assert result.blocks_failed > 0
@@ -177,16 +177,15 @@ class TestMutationsFire:
         assert "CG003" in codes(self._validate(mixed, bad))
 
     def test_cg004_reordered_trace_effect(self, mixed, mixed_compiled):
-        # Swap the last-store bookkeeping with the trace append that
-        # must precede it: same effects, wrong order/payloads.
-        source = mixed_compiled.source
-        lines = source.split("\n")
-        idx = next(
-            i for i, line in enumerate(lines) if "last_store[a]" in line
+        # Swap the first two records inside the block's bulk trace
+        # flush: same records, wrong order in the trace stream.
+        bad = mutated(
+            mixed_compiled,
+            "tb_e(((0, -1, 0, lw[0], -1, -1, False), "
+            "(1, -1, 0, idx0, idx0, -1, False)",
+            "tb_e(((1, -1, 0, idx0, idx0, -1, False), "
+            "(0, -1, 0, lw[0], -1, -1, False)",
         )
-        lines[idx], lines[idx + 1] = lines[idx + 1], lines[idx]
-        bad = copy.copy(mixed_compiled)
-        bad.source = "\n".join(lines)
         assert "CG004" in codes(self._validate(mixed, bad))
 
     def test_cg004_timing_latency_skew(self):
@@ -239,7 +238,7 @@ class TestDiagnosticsHygiene:
         # Two corruption sites -> several diagnostics; order must be
         # (code, pc, ...) and identical across runs.
         bad = mutated(mixed_compiled, "regs[1] + regs[1]", "regs[1] + regs[3]")
-        bad = mutated(bad, "\n        words[a] = regs[2]", "")
+        bad = mutated(bad, "\n        words[a3] = regs[2]", "")
         first = validate_functional(mixed, bad, tracing=True, caching=True)
         second = validate_functional(mixed, bad, tracing=True, caching=True)
         rendered = [d.render() for d in first.diagnostics]

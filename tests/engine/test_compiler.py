@@ -6,6 +6,7 @@ from repro.engine.compiler import (
     ENGINE_COMPILED,
     ENGINE_ENV,
     ENGINE_INTERP,
+    ENGINE_TIERED,
     MAX_PROGRAM,
     compile_functional,
     discover_blocks,
@@ -39,13 +40,17 @@ def decoded(source):
 
 
 class TestResolveEngine:
-    def test_default_is_compiled(self, monkeypatch):
+    def test_default_is_tiered(self, monkeypatch):
         monkeypatch.delenv(ENGINE_ENV, raising=False)
-        assert resolve_engine() == ENGINE_COMPILED
+        assert resolve_engine() == ENGINE_TIERED
 
     def test_explicit_wins_over_env(self, monkeypatch):
         monkeypatch.setenv(ENGINE_ENV, "interp")
         assert resolve_engine("compiled") == ENGINE_COMPILED
+
+    def test_tiered_spelling(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV, " Tiered ")
+        assert resolve_engine() == ENGINE_TIERED
 
     @pytest.mark.parametrize(
         "name", ["interp", "interpreter", "Interpreted", " INTERP "]

@@ -1,0 +1,145 @@
+"""Tiered-engine mechanics and the persistent codegen cache.
+
+The equivalence suite proves the tiered engine's *results*; these
+tests pin its *mechanics*: the entry-count threshold compiles exactly
+the hot blocks, short runs never pay for codegen, warm disk-cache hits
+skip source emission entirely, and a corrupt cache entry degrades to a
+recompile instead of an error.
+"""
+
+import pytest
+
+from repro.engine import compiler
+from repro.engine.codecache import get_code_cache, reset_code_cache
+from repro.engine.compiler import (
+    ENGINE_COMPILED,
+    ENGINE_INTERP,
+    ENGINE_TIERED,
+    TIER_ENV,
+    TIER_SLICE,
+)
+from repro.engine.functional import FunctionalSimulator
+from repro.isa import assemble
+
+#: A hot loop (3000 iterations, ~9000 instructions — comfortably past
+#: TIER_SLICE) followed by a cold straight-line tail that runs once.
+#: Block leaders: 0 (entry), 1 (loop target), 4 (loop fallthrough).
+HOT_COLD_SOURCE = """
+    addi r1, r0, 3000
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bgt  r1, r0, loop
+    addi r3, r0, 7
+    halt
+"""
+
+HOT_LEADER = 1
+COLD_LEADER = 4
+
+
+def _program(name="tiered_test"):
+    return assemble(HOT_COLD_SOURCE, name=name)
+
+
+def _run(program, engine, **kwargs):
+    sim = FunctionalSimulator(program, engine=engine)
+    result = sim.run(**kwargs)
+    return sim, result
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the codegen cache at a private root for the test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    reset_code_cache()
+    yield tmp_path
+    reset_code_cache()
+
+
+class TestTierThreshold:
+    def test_hot_blocks_compile_cold_blocks_stay_interpreted(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(TIER_ENV, "10")
+        program = _program()
+        sim, result = _run(program, ENGINE_TIERED)
+        assert sim.last_engine == ENGINE_TIERED
+        tier = sim.last_tier
+        assert tier["tier_ups"] >= 1
+        # Exactly the loop block crossed the threshold; the entry and
+        # tail blocks each ran once and stay interpreted.
+        assert tier["hot"] == (HOT_LEADER,)
+        assert tier["compiled_blocks"] == 1
+        assert tier["interp_blocks"] >= 1
+        # And the mixed run still matches the pure interpreter.
+        _sim, ref = _run(program, ENGINE_INTERP)
+        assert result.to_dict() == ref.to_dict()
+
+    def test_short_run_never_compiles(self, monkeypatch):
+        monkeypatch.setenv(TIER_ENV, "10")
+        program = _program()
+        sim, result = _run(
+            program, ENGINE_TIERED, max_instructions=TIER_SLICE // 2
+        )
+        assert sim.last_tier["tier_ups"] == 0
+        assert sim.last_tier["compiled_blocks"] == 0
+        _sim, ref = _run(
+            program, ENGINE_INTERP, max_instructions=TIER_SLICE // 2
+        )
+        assert result.to_dict() == ref.to_dict()
+
+    def test_unreachable_threshold_stays_interpreted(self, monkeypatch):
+        monkeypatch.setenv(TIER_ENV, "1000000")
+        program = _program()
+        sim, result = _run(program, ENGINE_TIERED)
+        assert sim.last_tier["tier_ups"] == 0
+        _sim, ref = _run(program, ENGINE_INTERP)
+        assert result.to_dict() == ref.to_dict()
+
+
+class TestCodeCache:
+    def test_warm_disk_hit_skips_emission(self, cache_dir, monkeypatch):
+        program = _program()
+        _sim, cold = _run(program, ENGINE_COMPILED)
+        assert get_code_cache().perf.misses.get("codegen", 0) >= 1
+
+        # Fresh process-state: new singleton, new simulator, and source
+        # emission booby-trapped — the warm run must never reach it.
+        reset_code_cache()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("emission not skipped on warm cache")
+
+        monkeypatch.setattr(compiler, "_emit_functional_block", boom)
+        sim, warm = _run(program, ENGINE_COMPILED)
+        assert sim.last_engine == ENGINE_COMPILED
+        assert warm.to_dict() == cold.to_dict()
+        cache = get_code_cache()
+        assert cache.perf.disk_hits.get("codegen", 0) >= 1
+        assert cache.perf.misses.get("codegen", 0) == 0
+
+    def test_tiered_engine_hits_the_same_cache(self, cache_dir, monkeypatch):
+        monkeypatch.setenv(TIER_ENV, "10")
+        program = _program()
+        _sim, cold = _run(program, ENGINE_TIERED)
+        reset_code_cache()
+        sim, warm = _run(program, ENGINE_TIERED)
+        assert sim.last_tier["tier_ups"] >= 1
+        assert warm.to_dict() == cold.to_dict()
+        assert get_code_cache().perf.disk_hits.get("codegen", 0) >= 1
+
+    def test_corrupt_entry_falls_back_to_recompile(self, cache_dir):
+        program = _program()
+        _sim, cold = _run(program, ENGINE_COMPILED)
+        entries = list(cache_dir.glob("codegen/*/*.json"))
+        assert entries
+        for entry in entries:
+            entry.write_text("{definitely not json")
+
+        reset_code_cache()
+        sim, warm = _run(program, ENGINE_COMPILED)
+        assert sim.last_engine == ENGINE_COMPILED
+        assert warm.to_dict() == cold.to_dict()
+        # The corrupt load counted as a miss and was recomputed.
+        assert get_code_cache().perf.misses.get("codegen", 0) >= 1

@@ -59,7 +59,10 @@ class TestFailureDetection:
         families = {f.family for f in report.failures}
         assert families == {"engine_equivalence"}
         checks = {f.check for f in report.failures}
-        assert "timing_baseline" in checks
+        assert "timing_baseline_compiled" in checks
+        # The bug was injected into the compiled engine only; the
+        # tiered engine must stay clean.
+        assert not any(c.endswith("_tiered") for c in checks)
         assert report.families_run == list(CHECK_FAMILIES)
 
     def test_committed_state_divergence_is_caught(self, monkeypatch):

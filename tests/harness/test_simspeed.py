@@ -10,7 +10,11 @@ import json
 
 import pytest
 
-from repro.engine.compiler import ENGINE_COMPILED, ENGINE_INTERP
+from repro.engine.compiler import (
+    ENGINE_COMPILED,
+    ENGINE_INTERP,
+    ENGINE_TIERED,
+)
 from repro.harness import simspeed
 
 
@@ -65,12 +69,20 @@ class TestSteadyMips:
         assert simspeed._steady_mips(run, repeats=1) == pytest.approx(1.0)
 
 
-def _payload(exec_ratio=3.0, cached_ratio=1.5, timing_ratio=1.2):
-    def summary(ratio):
+def _payload(
+    exec_ratio=3.0,
+    cached_ratio=1.5,
+    timing_ratio=1.2,
+    tiered_ratio=1.4,
+    table2_tiered=1.6,
+):
+    def summary(ratio, tiered=tiered_ratio):
         return {
             ENGINE_INTERP: 1.0,
             ENGINE_COMPILED: ratio,
+            ENGINE_TIERED: tiered,
             "ratio": ratio,
+            "tiered_ratio": tiered,
         }
 
     return {
@@ -80,6 +92,22 @@ def _payload(exec_ratio=3.0, cached_ratio=1.5, timing_ratio=1.2):
             "traced": summary(cached_ratio),
         },
         "timing_baseline_geomean": summary(timing_ratio),
+        "table2_cold": {
+            "seconds": {
+                ENGINE_INTERP: 10.0,
+                ENGINE_COMPILED: 10.0 / cached_ratio,
+                ENGINE_TIERED: 10.0 / table2_tiered,
+            },
+            "sim_seconds": {
+                ENGINE_INTERP: 3.0,
+                ENGINE_COMPILED: 3.0 / cached_ratio,
+                ENGINE_TIERED: 3.0 / table2_tiered,
+            },
+            "speedup": cached_ratio,
+            "tiered_speedup": table2_tiered,
+            "sim_speedup": cached_ratio,
+            "tiered_sim_speedup": table2_tiered,
+        },
     }
 
 
@@ -96,9 +124,29 @@ class TestCheckPayload:
         problems = simspeed.check_payload(
             _payload(cached_ratio=0.8, timing_ratio=0.9)
         )
-        # cached + traced configs share the ratio, timing adds one more.
-        assert len(problems) == 3
+        # cached + traced configs share the ratio, the traced 1.5x floor
+        # fires too, and timing adds one more.
+        assert len(problems) == 4
         assert any("timing baseline" in p for p in problems)
+
+    def test_fails_when_tiered_slower_anywhere(self):
+        problems = simspeed.check_payload(_payload(tiered_ratio=0.9))
+        # exec + cached + traced + timing, tiered lane only.
+        assert len(problems) == 4
+        assert all("tiered slower" in p for p in problems)
+
+    def test_fails_when_tiered_loses_cold_table2(self):
+        problems = simspeed.check_payload(_payload(table2_tiered=0.9))
+        assert len(problems) == 1
+        assert (
+            "table2 cold: tiered slower than interpreter end to end "
+            "(0.90x)" in problems[0]
+        )
+
+    def test_table2_floor_skipped_when_absent(self):
+        payload = _payload(table2_tiered=0.9)
+        del payload["table2_cold"]
+        assert simspeed.check_payload(payload) == []
 
     def test_exec_floor_and_slower_both_reported(self):
         problems = simspeed.check_payload(
@@ -138,16 +186,22 @@ class TestPayloadSchema:
         assert set(payload["functional"]) == set(simspeed.FUNCTIONAL_CONFIGS)
         for config in simspeed.FUNCTIONAL_CONFIGS:
             cells = payload["functional"][config]
-            assert set(cells) == {ENGINE_INTERP, ENGINE_COMPILED}
+            assert set(cells) == set(simspeed.ENGINES)
             for engine in cells:
                 assert set(cells[engine]) == {"pharmacy"}
                 assert cells[engine]["pharmacy"] >= 0.0
 
     def test_geomean_summaries(self, payload):
+        expected = {
+            ENGINE_INTERP,
+            ENGINE_COMPILED,
+            ENGINE_TIERED,
+            "ratio",
+            "tiered_ratio",
+        }
         for config, summary in payload["functional_geomean"].items():
-            assert set(summary) == {ENGINE_INTERP, ENGINE_COMPILED, "ratio"}
-        summary = payload["timing_baseline_geomean"]
-        assert set(summary) == {ENGINE_INTERP, ENGINE_COMPILED, "ratio"}
+            assert set(summary) == expected
+        assert set(payload["timing_baseline_geomean"]) == expected
 
     def test_table2_key_only_when_requested(self, payload):
         assert "table2_cold" not in payload

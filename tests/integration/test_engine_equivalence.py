@@ -1,15 +1,20 @@
-"""Differential equivalence: compiled engine vs. reference interpreter.
+"""Differential equivalence: compiled/tiered engines vs. interpreter.
 
-The compiled basic-block engine is an optimization, not a second
-model: for every bundled workload it must reproduce the interpreter's
-results bit for bit — the packed functional trace, every statistic,
-every timing-simulator counter, in every simulation mode.  These tests
-are the contract that keeps the two engines pinned together.
+The compiled basic-block engine and the tiered engine layered on top
+of it are optimizations, not second models: for every bundled workload
+they must reproduce the interpreter's results bit for bit — the packed
+functional trace, every statistic, every timing-simulator counter, in
+every simulation mode.  These tests are the contract that keeps the
+three engines pinned together.
 """
 
 import pytest
 
-from repro.engine.compiler import ENGINE_COMPILED, ENGINE_INTERP
+from repro.engine.compiler import (
+    ENGINE_COMPILED,
+    ENGINE_INTERP,
+    ENGINE_TIERED,
+)
 from repro.engine.functional import FunctionalSimulator
 from repro.model.params import ModelParams
 from repro.selection.program_selector import select_pthreads
@@ -65,28 +70,31 @@ def _diff(a, b):
 def test_functional_results_bit_identical(name):
     workload = _workload(name)
     results = {}
-    for engine in (ENGINE_INTERP, ENGINE_COMPILED):
+    for engine in (ENGINE_INTERP, ENGINE_COMPILED, ENGINE_TIERED):
         sim = FunctionalSimulator(
             workload.program, workload.hierarchy, engine=engine
         )
         results[engine] = sim.run().to_dict()
         assert sim.last_engine == engine
-    assert results[ENGINE_INTERP] == results[ENGINE_COMPILED], _diff(
-        results[ENGINE_INTERP], results[ENGINE_COMPILED]
-    )
+    for engine in (ENGINE_COMPILED, ENGINE_TIERED):
+        assert results[ENGINE_INTERP] == results[engine], (
+            engine,
+            _diff(results[ENGINE_INTERP], results[engine]),
+        )
 
 
 @pytest.mark.parametrize("name", ALL_WORKLOADS)
 def test_functional_no_trace_bit_identical(name):
     workload = _workload(name)
     results = {}
-    for engine in (ENGINE_INTERP, ENGINE_COMPILED):
+    for engine in (ENGINE_INTERP, ENGINE_COMPILED, ENGINE_TIERED):
         sim = FunctionalSimulator(
             workload.program, workload.hierarchy, engine=engine
         )
         results[engine] = sim.run(collect_trace=False).to_dict()
         assert sim.last_engine == engine
-    assert results[ENGINE_INTERP] == results[ENGINE_COMPILED]
+    for engine in (ENGINE_COMPILED, ENGINE_TIERED):
+        assert results[ENGINE_INTERP] == results[engine], engine
 
 
 @pytest.mark.parametrize("name", ALL_WORKLOADS)
@@ -95,7 +103,7 @@ def test_timing_stats_bit_identical_across_modes(name):
     pthreads = _selected_pthreads(name)
     for mode in MODES:
         stats = {}
-        for engine in (ENGINE_INTERP, ENGINE_COMPILED):
+        for engine in (ENGINE_INTERP, ENGINE_COMPILED, ENGINE_TIERED):
             sim = TimingSimulator(
                 workload.program,
                 workload.hierarchy,
@@ -104,7 +112,9 @@ def test_timing_stats_bit_identical_across_modes(name):
             )
             stats[engine] = sim.run(mode).to_dict()
             assert sim.last_engine == engine
-        assert stats[ENGINE_INTERP] == stats[ENGINE_COMPILED], (
-            mode.name,
-            _diff(stats[ENGINE_INTERP], stats[ENGINE_COMPILED]),
-        )
+        for engine in (ENGINE_COMPILED, ENGINE_TIERED):
+            assert stats[ENGINE_INTERP] == stats[engine], (
+                mode.name,
+                engine,
+                _diff(stats[ENGINE_INTERP], stats[engine]),
+            )
