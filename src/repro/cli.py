@@ -308,6 +308,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parity(args: argparse.Namespace) -> int:
+    from repro.harness.parity import parity_suite, render_parity
+
+    names = (
+        SUITE + ["pharmacy"] if args.workload == "all" else [args.workload]
+    )
+    reports = parity_suite(
+        names,
+        input_name=args.input,
+        engine=args.engine,
+        max_instructions=args.max_instructions,
+    )
+    if args.format == "json":
+        payload = {
+            "input": args.input,
+            "max_instructions": args.max_instructions,
+            "ok": all(report.ok for report in reports),
+            "reports": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_parity(reports))
+    if args.strict and not all(report.ok for report in reports):
+        return 1
+    return 0
+
+
 #: Timing mode shapes each verify-codegen variant must validate:
 #: (launching, stealing, prefetching) triples matching what
 #: TimingSimulator.run() compiles for the paper's simulation modes.
@@ -772,6 +799,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run selection and verify the resulting p-threads",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    parity_parser = sub.add_parser(
+        "parity",
+        help=(
+            "cross-check the trace-driven and discrete-event timing "
+            "models under the pinned parity contract"
+        ),
+    )
+    parity_parser.add_argument(
+        "workload", choices=SUITE + ["pharmacy", "all"],
+        help="workload to compare, or 'all' for the whole bundle",
+    )
+    parity_parser.add_argument(
+        "--input", default="train", help="input set to build (default train)"
+    )
+    parity_parser.add_argument(
+        "--engine", choices=["interp", "compiled", "tiered"], default=None,
+        help="engine seam both models run under (default: REPRO_ENGINE)",
+    )
+    parity_parser.add_argument(
+        "--max-instructions", type=int, default=120_000,
+        help="shared per-run instruction cap (default 120000)",
+    )
+    parity_parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    parity_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any parity divergence",
+    )
+    add_observability(parity_parser)
+    parity_parser.set_defaults(func=_cmd_parity)
 
     transval_parser = sub.add_parser(
         "verify-codegen",

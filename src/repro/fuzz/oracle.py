@@ -1,7 +1,7 @@
 """The differential oracle: end-to-end cross-checks for one workload.
 
 Runs a (generated or hand-written) workload through the full pipeline
-and applies five check families, each named by a stable identifier so
+and applies seven check families, each named by a stable identifier so
 shrinking can match "the same failure" across candidate reductions:
 
 ``engine_equivalence``
@@ -47,6 +47,18 @@ shrinking can match "the same failure" across candidate reductions:
     equivalent to the interpreter semantics symbolically, so this
     family is cheap per seed and catches codegen bugs on paths the
     dynamic inputs never reached.
+
+``timing_parity``
+    The discrete-event timing model
+    (:mod:`repro.timing.eventsim`) against the trace-driven one under
+    the pinned cross-model contract of
+    :mod:`repro.validation.parity`: identical committed architectural
+    state, instruction/launch/drop counts, and per-level miss counts,
+    with cycles/IPC inside the documented tolerance band, in baseline
+    and pre-execution modes.  Check names are the contract's pinned
+    check names prefixed by the mode (``baseline_registers``,
+    ``preexec_pthread_launches``, ...); the diverging values live in
+    the message so reduced reproducers keep a stable identity.
 """
 
 from __future__ import annotations
@@ -71,7 +83,7 @@ from repro.timing.config import BASELINE, PRE_EXECUTION, MachineConfig
 from repro.timing.core import TimingSimulator
 from repro.timing.stats import SimStats
 
-#: The six check families, in the order they run.
+#: The seven check families, in the order they run.
 CHECK_FAMILIES: Tuple[str, ...] = (
     "engine_equivalence",
     "functional_vs_timing",
@@ -79,6 +91,7 @@ CHECK_FAMILIES: Tuple[str, ...] = (
     "model_invariants",
     "memory_sanity",
     "codegen_transval",
+    "timing_parity",
 )
 
 _ENGINES = (ENGINE_INTERP, ENGINE_COMPILED, ENGINE_TIERED)
@@ -458,8 +471,86 @@ def run_oracle(
     check.start("codegen_transval")
     _check_codegen_transval(check, workload, machine, selection)
 
+    if expired():
+        return report
+
+    # ---- family 7: cross-model timing parity -------------------------
+    check.start("timing_parity")
+    _check_timing_parity(
+        check,
+        workload,
+        machine,
+        selection,
+        base[ENGINE_INTERP],
+        pre[ENGINE_INTERP],
+        max_instructions,
+    )
+
     check.finish()
     return report
+
+
+def _check_timing_parity(
+    check: _Checker,
+    workload: FuzzWorkload,
+    machine: MachineConfig,
+    selection: ProgramSelection,
+    base_run: "_TimingRun",
+    pre_run: "_TimingRun",
+    max_instructions: int,
+) -> None:
+    """Cross-model parity: event-driven vs trace-driven timing.
+
+    Reuses the trace-driven interpreter runs families 1–2 already
+    captured; only the event-driven model runs fresh.  Failure names
+    come from the pinned contract order so a reduced reproducer keeps
+    the same ``(family, check)`` identity as long as the same kind of
+    state diverges — the shrinker additionally matches this family at
+    family granularity (see :mod:`repro.fuzz.shrink`) because a
+    reduction can legitimately move the first observable divergence
+    between checks.
+    """
+    from repro.timing.eventsim import EventSimulator
+    from repro.validation.parity import ParityRun, compare_runs
+
+    def as_parity(stats: SimStats, registers, memory_words) -> ParityRun:
+        payload = stats.to_dict()
+        payload["ipc"] = stats.ipc
+        return ParityRun(
+            stats=payload,
+            registers=list(registers),
+            memory_words=dict(memory_words),
+        )
+
+    variants = (
+        ("baseline", BASELINE, None, base_run),
+        ("preexec", PRE_EXECUTION, selection.pthreads, pre_run),
+    )
+    for label, mode, pthreads, trace_run in variants:
+        event_sim = EventSimulator(
+            workload.program,
+            workload.hierarchy,
+            machine=machine,
+            pthreads=pthreads,
+            engine=ENGINE_INTERP,
+        )
+        event_stats = event_sim.run(mode, max_instructions=max_instructions)
+        report = compare_runs(
+            as_parity(
+                trace_run.stats, trace_run.registers, trace_run.memory_words
+            ),
+            as_parity(
+                event_stats,
+                event_sim.last_registers,
+                _memory_words(event_sim.last_memory),
+            ),
+            workload=workload.name,
+            mode=mode.name,
+            engine=str(event_sim.last_engine),
+        )
+        for pcheck in report.checks:
+            if not pcheck.ok:
+                check.fail(f"{label}_{pcheck.name}", pcheck.render())
 
 
 def _check_codegen_transval(

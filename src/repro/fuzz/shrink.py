@@ -10,7 +10,10 @@ kept only if the program still assembles and the oracle still reports
 at least one of the *original* (family, check) failures, so shrinking
 can never wander onto a different bug (e.g. a deletion that breaks
 loop termination introduces new failures but does not preserve the
-original one, and is rejected).
+original one, and is rejected).  Families listed in
+:data:`FAMILY_LEVEL_IDENTITY` match at family granularity instead,
+because their check names track the first observable divergence,
+which reductions can legitimately move.
 
 Because the generator emits every label on its own line, deleting an
 instruction line never orphans a branch target; deleting a *label*
@@ -36,6 +39,31 @@ from repro.isa.assembler import AssemblerError, assemble
 from repro.isa.program import DataImage, ProgramError
 from repro.memory.cache import CacheConfig
 from repro.memory.hierarchy import HierarchyConfig
+
+#: Families whose check names encode *where* a divergence was first
+#: observed rather than *which* invariant broke.  ``timing_parity``
+#: names its checks after the pinned contract order (registers before
+#: counts before cycles), so a reduction that removes the instructions
+#: responsible for, say, a register divergence can legitimately leave
+#: the same underlying model bug observable only as a count or cycle
+#: divergence.  Failure identity for these families is therefore
+#: matched at family granularity; every other family keeps the strict
+#: ``(family, check)`` match.
+FAMILY_LEVEL_IDENTITY = frozenset({"timing_parity"})
+
+
+def _preserves_failure(
+    found: set, target: set
+) -> bool:
+    """Does ``found`` keep at least one of ``target``'s failures?"""
+    if found & target:
+        return True
+    relaxed = {
+        family
+        for family, _check in target
+        if family in FAMILY_LEVEL_IDENTITY
+    }
+    return any(family in relaxed for family, _check in found)
 
 
 def _reassemble(workload: FuzzWorkload, lines: Sequence[str]) -> FuzzWorkload:
@@ -104,7 +132,7 @@ def shrink(
         except (AssemblerError, ProgramError, ValueError):
             return None
         result = run_oracle(reduced, max_instructions=max_instructions)
-        if result.failed_checks() & target:
+        if _preserves_failure(result.failed_checks(), target):
             return result
         return None
 

@@ -28,6 +28,7 @@ from .metrics import (
 )
 from .tracer import Span, Tracer, get_tracer, reset_tracer, set_tracer
 from .export import (
+    AUXILIARY_METRICS,
     METRIC_CATALOG,
     SNAPSHOT_SCHEMA_VERSION,
     check_snapshot,
@@ -39,6 +40,7 @@ from .export import (
 )
 
 __all__ = [
+    "AUXILIARY_METRICS",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",

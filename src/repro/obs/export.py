@@ -76,6 +76,26 @@ METRIC_CATALOG: Dict[str, str] = {
     "harness.cache.bytes": "gauge",
 }
 
+#: Metric names published only by *optional* subsystems — the
+#: discrete-event timing model and the cross-model parity harness —
+#: which a full pipeline run never touches, so they cannot join
+#: ``METRIC_CATALOG`` (the CI schema check requires every catalog name
+#: in the pipeline's snapshot).  Their types are still pinned: when one
+#: of these names does appear in a snapshot, a type change fails the
+#: check just like a catalog name.
+AUXILIARY_METRICS: Dict[str, str] = {
+    # Event-driven timing model (repro.timing.eventsim).
+    "eventsim.runs": "counter",
+    "eventsim.instructions": "counter",
+    "eventsim.events": "counter",
+    "eventsim.heap.max_depth": "gauge",
+    "eventsim.heap.depth": "histogram",
+    "eventsim.fills.max_outstanding": "gauge",
+    # Cross-model parity harness (repro.validation.parity).
+    "parity.comparisons": "counter",
+    "parity.divergences": "counter",
+}
+
 
 def snapshot_document(registry: MetricsRegistry) -> Dict[str, Any]:
     return {"schema": SNAPSHOT_SCHEMA_VERSION, "metrics": registry.snapshot()}
@@ -151,7 +171,8 @@ def check_snapshot(doc: Dict[str, Any]) -> List[str]:
 
     Returns a list of problems (empty means the schema check passes):
     catalog names missing from the snapshot, and names whose type changed.
-    Non-catalog names in the snapshot are allowed.
+    Auxiliary names (``AUXILIARY_METRICS``) are optional but
+    type-checked when present; other non-catalog names are allowed.
     """
     problems: List[str] = []
     metrics = doc.get("metrics", {})
@@ -163,5 +184,12 @@ def check_snapshot(doc: Dict[str, Any]) -> List[str]:
             problems.append(
                 f"type changed: {name} is {entry.get('type')!r}, "
                 f"catalog says {kind!r}"
+            )
+    for name, kind in sorted(AUXILIARY_METRICS.items()):
+        entry = metrics.get(name)
+        if entry is not None and entry.get("type") != kind:
+            problems.append(
+                f"type changed: {name} is {entry.get('type')!r}, "
+                f"auxiliary catalog says {kind!r}"
             )
     return problems

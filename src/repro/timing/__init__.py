@@ -11,10 +11,13 @@ from repro.timing.config import (
     SimMode,
 )
 from repro.timing.core import Schedule, TimingSimulator
+from repro.timing.eventsim import EventHeap, EventSimulator
 from repro.timing.stats import SimStats
 
 __all__ = [
     "BASELINE",
+    "EventHeap",
+    "EventSimulator",
     "LATENCY_ONLY",
     "MachineConfig",
     "OVERHEAD_EXECUTE",

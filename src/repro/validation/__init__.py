@@ -6,10 +6,24 @@ from repro.validation.diagnostics import (
     render_validation,
     validate_result,
 )
+from repro.validation.parity import (
+    ParityCheck,
+    ParityReport,
+    ParityRun,
+    ParityTolerance,
+    compare_runs,
+    run_parity,
+)
 
 __all__ = [
     "Diagnostic",
+    "ParityCheck",
+    "ParityReport",
+    "ParityRun",
+    "ParityTolerance",
+    "compare_runs",
     "correlation_summary",
     "render_validation",
+    "run_parity",
     "validate_result",
 ]

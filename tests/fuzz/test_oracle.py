@@ -17,8 +17,9 @@ class TestCleanRun:
     def test_clean_workload_passes(self, clean_report):
         assert clean_report.ok, [f.render() for f in clean_report.failures]
 
-    def test_all_five_families_run(self, clean_report):
+    def test_all_seven_families_run(self, clean_report):
         assert clean_report.families_run == list(CHECK_FAMILIES)
+        assert "timing_parity" in clean_report.families_run
 
     def test_stats_describe_the_run(self, clean_report):
         stats = clean_report.stats
@@ -83,6 +84,55 @@ class TestFailureDetection:
         checks = report.failed_checks()
         assert ("functional_vs_timing", "baseline_registers") in checks
         assert ("functional_vs_timing", "preexec_registers") in checks
+
+    def test_event_model_cycle_skew_is_caught(self, monkeypatch):
+        # Inject a beyond-band cycle skew into the event-driven model
+        # only: the timing_parity family must flag the band breach in
+        # both variants while every other family stays clean (the
+        # trace-driven runs they compare are untouched).
+        import repro.timing.eventsim as eventsim_module
+
+        real_run = eventsim_module.EventSimulator.run
+
+        def skewed_run(self, *args, **kwargs):
+            stats = real_run(self, *args, **kwargs)
+            stats.cycles = stats.cycles * 2 + 1000  # far beyond band
+            return stats
+
+        monkeypatch.setattr(
+            eventsim_module.EventSimulator, "run", skewed_run
+        )
+        report = run_oracle(generate(3))
+        assert not report.ok
+        families = {f.family for f in report.failures}
+        assert families == {"timing_parity"}
+        checks = {f.check for f in report.failures}
+        assert "baseline_cycles" in checks
+        assert "preexec_cycles" in checks
+        assert report.families_run == list(CHECK_FAMILIES)
+
+    def test_event_model_state_divergence_is_caught(self, monkeypatch):
+        # Corrupt the event model's committed register capture: the
+        # parity contract's first (state) check must attribute it.
+        import repro.timing.eventsim as eventsim_module
+
+        real_run = eventsim_module.EventSimulator.run
+
+        def corrupting_run(self, *args, **kwargs):
+            stats = real_run(self, *args, **kwargs)
+            self.last_registers = list(self.last_registers)
+            self.last_registers[5] ^= 1
+            return stats
+
+        monkeypatch.setattr(
+            eventsim_module.EventSimulator, "run", corrupting_run
+        )
+        report = run_oracle(generate(3))
+        checks = report.failed_checks()
+        assert ("timing_parity", "baseline_registers") in checks
+        assert ("timing_parity", "preexec_registers") in checks
+        families = {f.family for f in report.failures}
+        assert families == {"timing_parity"}
 
     def test_failure_identity_round_trips(self):
         failure = CheckFailure("memory_sanity", "halted", "did not halt")

@@ -1,0 +1,124 @@
+"""Property test: cross-model timing parity on generated workloads.
+
+Hypothesis drives fuzz-generator workloads through both timing models
+across the baseline, pre-execution, and steal-only (overhead-sequence)
+variants and asserts the *exact-agreement subset* of the parity
+contract: committed architectural state and every exact event count.
+The cycle/IPC band is not asserted here — the unit parity suite pins
+its semantics — so a future model that legitimately uses the band
+cannot turn this property flaky.
+
+Workload construction (generate + functional trace + selection) is
+much heavier than the two timing runs, so it is memoized per seed;
+hypothesis then explores (seed, mode) combinations cheaply.  Inherits
+the ``ci``/``dev`` profiles from ``conftest.py``; the explicit
+``max_examples`` override composes with them (the generators here are
+markedly heavier than the suite's default).
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.functional import FunctionalSimulator
+from repro.fuzz.generator import generate
+from repro.model.params import ModelParams, SelectionConstraints
+from repro.selection.program_selector import select_pthreads
+from repro.timing.config import (
+    BASELINE,
+    OVERHEAD_SEQUENCE,
+    PRE_EXECUTION,
+)
+from repro.timing.core import TimingSimulator
+from repro.timing.eventsim import EventSimulator
+from repro.validation.parity import ParityRun, compare_runs
+
+MAX_INSTRUCTIONS = 60_000
+
+MODES = {
+    "baseline": BASELINE,
+    "pre-exec": PRE_EXECUTION,
+    "steal-only": OVERHEAD_SEQUENCE,
+}
+
+
+@functools.lru_cache(maxsize=64)
+def workload_and_selection(seed):
+    workload = generate(seed)
+    func = FunctionalSimulator(workload.program, workload.hierarchy).run(
+        max_instructions=MAX_INSTRUCTIONS
+    )
+    params = ModelParams(
+        bw_seq=8,
+        unassisted_ipc=1.0,
+        mem_latency=workload.hierarchy.mem_latency,
+        load_latency=workload.hierarchy.l1.hit_latency,
+    )
+    selection = select_pthreads(
+        workload.program, func.trace, params, SelectionConstraints()
+    )
+    return workload, tuple(selection.pthreads)
+
+
+def capture(sim, mode) -> ParityRun:
+    stats = sim.run(mode, max_instructions=MAX_INSTRUCTIONS)
+    payload = stats.to_dict()
+    payload["ipc"] = stats.ipc
+    return ParityRun(
+        stats=payload,
+        registers=list(sim.last_registers),
+        memory_words={
+            addr: value
+            for addr, value in sim.last_memory.snapshot().items()
+            if value != 0
+        },
+    )
+
+
+@settings(max_examples=25)
+@given(
+    seed=st.integers(min_value=0, max_value=23),
+    mode_name=st.sampled_from(sorted(MODES)),
+)
+def test_exact_agreement_subset(seed, mode_name):
+    workload, pthreads = workload_and_selection(seed)
+    mode = MODES[mode_name]
+    pts = list(pthreads) if (mode.launch and pthreads) else None
+    trace_sim = TimingSimulator(
+        workload.program, workload.hierarchy, pthreads=pts, engine="interp"
+    )
+    event_sim = EventSimulator(
+        workload.program, workload.hierarchy, pthreads=pts, engine="interp"
+    )
+    report = compare_runs(
+        capture(trace_sim, mode),
+        capture(event_sim, mode),
+        workload=workload.name,
+        mode=mode.name,
+        engine="interp",
+    )
+    exact_failures = [
+        check for check in report.checks
+        if check.kind == "exact" and not check.ok
+    ]
+    assert not exact_failures, report.render()
+
+
+@settings(max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=23))
+def test_event_model_engine_seams_agree(seed):
+    # The engine seam is pure dispatch strategy: under any generated
+    # workload the three seams commit identical runs.
+    workload, _ = workload_and_selection(seed)
+    reference = None
+    for engine in ("interp", "compiled", "tiered"):
+        sim = EventSimulator(
+            workload.program, workload.hierarchy, engine=engine
+        )
+        stats = sim.run(BASELINE, max_instructions=MAX_INSTRUCTIONS)
+        outcome = (stats.to_dict(), list(sim.last_registers))
+        if reference is None:
+            reference = outcome
+        else:
+            assert outcome == reference
