@@ -13,6 +13,8 @@ Commands mirror the paper's artifacts::
     python -m repro lint mcf --pthreads   # ... plus p-thread verification
     python -m repro verify-codegen all --strict   # translation-validate codegen
     python -m repro bench speed           # engine throughput benchmark
+    python -m repro serve --port 8421     # HTTP/JSON selection daemon
+    python -m repro bench serve --check   # daemon load harness + floors
     python -m repro fuzz --seeds 25       # differential fuzzing campaign
     python -m repro fuzz --replay corpus/fuzz-000042-stride.json
     python -m repro obs report            # metrics registry report
@@ -446,6 +448,8 @@ def _cmd_verify_codegen(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.what == "serve":
+        return _cmd_bench_serve(args)
     from repro.harness import simspeed
 
     if args.what != "speed":  # pragma: no cover - argparse enforces
@@ -467,6 +471,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"CHECK FAILED: {problem}", file=sys.stderr)
             return 1
         print("all speed checks passed")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve import bench as serve_bench
+
+    workloads = _parse_workloads(args.workloads or "mcf,vpr.r")
+    payload = serve_bench.bench_serve(
+        workloads=workloads,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        workers=args.workers,
+    )
+    print(serve_bench.render(payload))
+    output = args.output or serve_bench.DEFAULT_RESULTS_PATH
+    serve_bench.write_results(payload, output)
+    print(f"\nwrote {output}")
+    if args.check:
+        problems = serve_bench.check_payload(payload)
+        if problems:
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        print("all serve checks passed")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+    from repro.serve.http import run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        batch_max=args.batch_max,
+        max_instructions=args.max_instructions,
+        default_budget_seconds=args.budget,
+        no_cache=getattr(args, "no_cache", False),
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"repro serve listening on http://{host}:{port}", flush=True)
+
+    try:
+        asyncio.run(run_server(config, ready=ready))
+    except KeyboardInterrupt:
+        print("\nshutting down")
     return 0
 
 
@@ -675,14 +730,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = sub.add_parser(
         "bench", help="performance benchmarks of the simulators themselves"
     )
-    bench_parser.add_argument("what", choices=["speed"])
+    bench_parser.add_argument("what", choices=["speed", "serve"])
     bench_parser.add_argument(
         "--workloads", default=None,
-        help="comma-separated workload subset (default: the full suite)",
+        help=(
+            "comma-separated workload subset (default: the full suite "
+            "for speed, mcf,vpr.r for serve)"
+        ),
     )
     bench_parser.add_argument(
         "--repeats", type=int, default=3,
-        help="timed repetitions per cell, best-of (default 3)",
+        help="timed repetitions per cell, best-of (default 3; speed only)",
     )
     bench_parser.add_argument(
         "--no-table2", action="store_true",
@@ -690,17 +748,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--output", default=None,
-        help="also write the JSON payload to this path",
+        help=(
+            "also write the JSON payload to this path (serve writes "
+            "results/BENCH_serve.json by default)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--requests", type=int, default=24,
+        help="serve: measured requests in the load phase (default 24)",
+    )
+    bench_parser.add_argument(
+        "--concurrency", type=int, default=4,
+        help="serve: concurrent client connections (default 4)",
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="serve: daemon worker threads (default 2)",
     )
     bench_parser.add_argument(
         "--check", action="store_true",
         help=(
-            "exit non-zero unless the engines meet their speed floors "
-            "(>=2x exec / >=1.5x traced compiled geomean, compiled and "
-            "tiered never slower than interp, cold table2 >=1.3x tiered)"
+            "exit non-zero unless the floors hold (speed: engine "
+            "throughput/cold-start floors; serve: warm p50 >=5x faster "
+            "than the cold CLI sim stages and zero request failures)"
         ),
     )
     bench_parser.set_defaults(func=_cmd_bench)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help=(
+            "long-lived HTTP/JSON daemon: submit workloads, get "
+            "selections and stats from warm in-process caches"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8421,
+        help="TCP port (default 8421; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads executing experiment batches (default 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=32,
+        help=(
+            "bounded submission queue; a full queue sheds load with "
+            "503 + Retry-After (default 32)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--batch-max", type=int, default=4,
+        help="max requests drained into one worker batch (default 4)",
+    )
+    serve_parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help=(
+            "default per-request soft budget; requests may override "
+            "with 'budget_seconds' (default: none)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-instructions", type=int, default=10_000_000,
+        help="per-experiment instruction cap (default 10000000)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent artifact cache for this daemon",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     fuzz_parser = sub.add_parser(
         "fuzz",

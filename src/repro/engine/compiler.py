@@ -55,8 +55,10 @@ whole-program fallback.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.decode import (
     DecodedProgram,
@@ -440,18 +442,66 @@ def _from_cached(
 #: through here cannot grow it without limit.
 _MEMO_LIMIT = 128
 _compile_memo: "OrderedDict[str, CompiledBlocks]" = OrderedDict()
+# Guards every _compile_memo access: get/move_to_end, put/evict, clear.
+# OrderedDict mutation is not atomic under concurrent callers (the serve
+# daemon compiles from multiple worker threads), so an unguarded
+# check-then-insert can double-insert and racing evictions can raise
+# KeyError out of popitem/move_to_end.
+_memo_lock = threading.Lock()
+
+
+def _memo_get(key: str) -> Optional[CompiledBlocks]:
+    with _memo_lock:
+        memo = _compile_memo.get(key)
+        if memo is not None:
+            _compile_memo.move_to_end(key)
+        return memo
 
 
 def _memo_put(key: str, compiled: CompiledBlocks) -> None:
-    _compile_memo[key] = compiled
-    _compile_memo.move_to_end(key)
-    while len(_compile_memo) > _MEMO_LIMIT:
-        _compile_memo.popitem(last=False)
+    with _memo_lock:
+        _compile_memo[key] = compiled
+        _compile_memo.move_to_end(key)
+        while len(_compile_memo) > _MEMO_LIMIT:
+            _compile_memo.popitem(last=False)
+
+
+def _memo_len() -> int:
+    with _memo_lock:
+        return len(_compile_memo)
 
 
 def clear_compile_memo() -> None:
     """Drop all memoized compilations (test / cold-benchmark seam)."""
-    _compile_memo.clear()
+    with _memo_lock:
+        _compile_memo.clear()
+
+
+# Per-key in-flight compilation guard.  Threads compiling *different*
+# programs proceed in parallel; threads racing on the *same* key
+# serialize, so the second one finds the first's result in the memo and
+# the module is emitted/exec'd exactly once per key.
+_inflight_lock = threading.Lock()
+_inflight: Dict[str, List] = {}  # key -> [lock, waiter_count]
+
+
+@contextmanager
+def _compile_guard(key: str) -> Iterator[None]:
+    with _inflight_lock:
+        entry = _inflight.get(key)
+        if entry is None:
+            entry = [threading.Lock(), 0]
+            _inflight[key] = entry
+        entry[1] += 1
+    entry[0].acquire()
+    try:
+        yield
+    finally:
+        entry[0].release()
+        with _inflight_lock:
+            entry[1] -= 1
+            if entry[1] == 0 and _inflight.get(key) is entry:
+                del _inflight[key]
 
 
 def _compile_key(
@@ -482,38 +532,32 @@ def _compile_key(
 
 
 def _consult_code_cache(
-    decoded: DecodedProgram,
-    target: str,
-    variant: Dict,
-    only_blocks: Optional[Sequence[int]],
+    key: str,
     filename: str,
-) -> Tuple[Optional[object], Optional[str], Optional[CompiledBlocks]]:
+) -> Tuple[Optional[object], Optional[CompiledBlocks]]:
     """Memo and code-cache lookup shared by both compilers.
 
-    Returns ``(cache, key, compiled)``.  The key is computed even when
-    the persistent cache is disabled — it also indexes the in-process
-    memo, which is consulted first (no disk, no counters).  On a disk
-    hit the rebuilt compilation is memoized for the next simulator
-    instance; on a full miss the caller emits fresh source and stores
-    it under ``key``.
+    Returns ``(cache, compiled)`` for the caller-computed ``key`` (see
+    :func:`_compile_key`).  The in-process memo is consulted first (no
+    disk, no counters).  On a disk hit the rebuilt compilation is
+    memoized for the next simulator instance; on a full miss the caller
+    emits fresh source and stores it under ``key``.
     """
     from repro.engine.codecache import get_code_cache
 
-    key = _compile_key(decoded, target, variant, only_blocks)
-    memo = _compile_memo.get(key)
+    memo = _memo_get(key)
     if memo is not None:
-        _compile_memo.move_to_end(key)
-        return get_code_cache(), key, memo
+        return get_code_cache(), memo
     cache = get_code_cache()
     if cache is None:
-        return None, key, None
+        return None, None
     payload = cache.load(key)
     if payload is not None:
         compiled = _from_cached(payload, key, filename)
         if compiled is not None:
             _memo_put(key, compiled)
-            return cache, key, compiled
-    return cache, key, None
+            return cache, compiled
+    return cache, None
 
 
 # ----------------------------------------------------------------------
@@ -544,61 +588,59 @@ def compile_functional(
     if not n or n > MAX_PROGRAM:
         return None
     filename = "<repro-compiled-functional>"
-    cache, cache_key, cached = _consult_code_cache(
-        decoded,
-        "functional",
-        {"tracing": tracing, "caching": caching},
-        only_blocks,
-        filename,
+    cache_key = _compile_key(
+        decoded, "functional", {"tracing": tracing, "caching": caching}, only_blocks
     )
-    if cached is not None:
-        return cached
-    blocks = discover_blocks(decoded)
-    if only_blocks is not None:
-        only = frozenset(only_blocks)
-        blocks = [b for b in blocks if b[0] in only]
-        if not blocks:
+    with _compile_guard(cache_key):
+        cache, cached = _consult_code_cache(cache_key, filename)
+        if cached is not None:
+            return cached
+        blocks = discover_blocks(decoded)
+        if only_blocks is not None:
+            only = frozenset(only_blocks)
+            blocks = [b for b in blocks if b[0] in only]
+            if not blocks:
+                return None
+        lines = [
+            "def _bind(ctx):",
+            "    mem_load = ctx['mem_load']",
+            "    mem_store = ctx['mem_store']",
+            "    words = ctx['words']",
+            "    words_get = words.get",
+        ]
+        if caching:
+            lines.append("    hier_access = ctx['hier_access']")
+            lines.append("    llc = ctx['llc']")
+        if tracing:
+            lines.append("    tbuf = ctx['trace_buf']")
+            lines.append("    tb_a = tbuf.append")
+            lines.append("    tb_e = tbuf.extend")
+            lines.append("    tb_len = tbuf.__len__")
+            lines.append("    last_store = ctx['last_store']")
+            lines.append("    ls_get = last_store.get")
+        counters: List[Tuple[int, int, int]] = []
+        try:
+            for start, end in blocks:
+                counters.append(
+                    _emit_functional_block(decoded, start, end, tracing, caching, lines)
+                )
+        except _Unsupported:
             return None
-    lines = [
-        "def _bind(ctx):",
-        "    mem_load = ctx['mem_load']",
-        "    mem_store = ctx['mem_store']",
-        "    words = ctx['words']",
-        "    words_get = words.get",
-    ]
-    if caching:
-        lines.append("    hier_access = ctx['hier_access']")
-        lines.append("    llc = ctx['llc']")
-    if tracing:
-        lines.append("    tbuf = ctx['trace_buf']")
-        lines.append("    tb_a = tbuf.append")
-        lines.append("    tb_e = tbuf.extend")
-        lines.append("    tb_len = tbuf.__len__")
-        lines.append("    last_store = ctx['last_store']")
-        lines.append("    ls_get = last_store.get")
-    counters: List[Tuple[int, int, int]] = []
-    try:
-        for start, end in blocks:
-            counters.append(
-                _emit_functional_block(decoded, start, end, tracing, caching, lines)
-            )
-    except _Unsupported:
-        return None
-    compiled = _finish(lines, blocks, counters, filename)
-    if compiled is not None:
-        _memo_put(cache_key, compiled)
-        if cache is not None:
-            compiled.cache_key = cache_key
-            cache.store(
-                cache_key,
-                compiled.source,
-                compiled.starts,
-                compiled.lengths,
-                compiled.loads,
-                compiled.stores,
-                compiled.branches,
-            )
-    return compiled
+        compiled = _finish(lines, blocks, counters, filename)
+        if compiled is not None:
+            _memo_put(cache_key, compiled)
+            if cache is not None:
+                compiled.cache_key = cache_key
+                cache.store(
+                    cache_key,
+                    compiled.source,
+                    compiled.starts,
+                    compiled.lengths,
+                    compiled.loads,
+                    compiled.stores,
+                    compiled.branches,
+                )
+        return compiled
 
 
 def _emit_mem_load(rd: int, out: List[str], addr: str = "a") -> None:
@@ -817,7 +859,7 @@ def compile_timing(
     if not n or n > MAX_PROGRAM:
         return None
     filename = "<repro-compiled-timing>"
-    cache, cache_key, cached = _consult_code_cache(
+    cache_key = _compile_key(
         decoded,
         "timing",
         {
@@ -833,79 +875,80 @@ def compile_timing(
             "hinted_pcs": sorted(hinted_pcs),
         },
         only_blocks,
-        filename,
     )
-    if cached is not None:
-        return cached
-    blocks = discover_blocks(
-        decoded, extra_leaders=sorted(trigger_pcs) if launching else ()
-    )
-    if only_blocks is not None:
-        only = frozenset(only_blocks)
-        blocks = [b for b in blocks if b[0] in only]
-        if not blocks:
+    with _compile_guard(cache_key):
+        cache, cached = _consult_code_cache(cache_key, filename)
+        if cached is not None:
+            return cached
+        blocks = discover_blocks(
+            decoded, extra_leaders=sorted(trigger_pcs) if launching else ()
+        )
+        if only_blocks is not None:
+            only = frozenset(only_blocks)
+            blocks = [b for b in blocks if b[0] in only]
+            if not blocks:
+                return None
+        lines = [
+            "def _bind(ctx):",
+            "    ring = ctx['ring']",
+            "    sq = ctx['store_queue']",
+            "    sq_get = sq.get",
+            "    predict = ctx['predict']",
+            "    predict_ind = ctx['predict_ind']",
+            "    mt = ctx['mt_access']",
+            "    mem_load = ctx['mem_load']",
+            "    mem_store = ctx['mem_store']",
+            "    words = ctx['words']",
+            "    words_get = words.get",
+            "    mexp = ctx['miss_exposure']",
+            "    tallies = ctx['tallies']",
+        ]
+        if stealing:
+            lines.append("    sget = ctx['stolen'].get")
+        if launching:
+            lines.append("    trig = ctx['trig']")
+            lines.append("    launch = ctx['launch']")
+            if hinted_pcs:
+                lines.append("    bh = ctx['branch_hints']")
+                lines.append("    bh_get = bh.get")
+                lines.append("    bc = ctx['branch_counts']")
+                lines.append("    bc_get = bc.get")
+        if prefetching:
+            lines.append("    observe = ctx['observe']")
+            lines.append("    pt = ctx['pt_access']")
+        ctx = _TimingCtx(
+            window=window,
+            bw_seq=bw_seq,
+            dispatch_latency=dispatch_latency,
+            mispredict_penalty=mispredict_penalty,
+            forward_latency=forward_latency,
+            launching=launching,
+            stealing=stealing,
+            prefetching=prefetching,
+            trigger_pcs=trigger_pcs,
+            hinted_pcs=hinted_pcs,
+        )
+        counters: List[Tuple[int, int, int]] = []
+        try:
+            for start, end in blocks:
+                counters.append(_emit_timing_block(decoded, start, end, ctx, lines))
+        except _Unsupported:
             return None
-    lines = [
-        "def _bind(ctx):",
-        "    ring = ctx['ring']",
-        "    sq = ctx['store_queue']",
-        "    sq_get = sq.get",
-        "    predict = ctx['predict']",
-        "    predict_ind = ctx['predict_ind']",
-        "    mt = ctx['mt_access']",
-        "    mem_load = ctx['mem_load']",
-        "    mem_store = ctx['mem_store']",
-        "    words = ctx['words']",
-        "    words_get = words.get",
-        "    mexp = ctx['miss_exposure']",
-        "    tallies = ctx['tallies']",
-    ]
-    if stealing:
-        lines.append("    sget = ctx['stolen'].get")
-    if launching:
-        lines.append("    trig = ctx['trig']")
-        lines.append("    launch = ctx['launch']")
-        if hinted_pcs:
-            lines.append("    bh = ctx['branch_hints']")
-            lines.append("    bh_get = bh.get")
-            lines.append("    bc = ctx['branch_counts']")
-            lines.append("    bc_get = bc.get")
-    if prefetching:
-        lines.append("    observe = ctx['observe']")
-        lines.append("    pt = ctx['pt_access']")
-    ctx = _TimingCtx(
-        window=window,
-        bw_seq=bw_seq,
-        dispatch_latency=dispatch_latency,
-        mispredict_penalty=mispredict_penalty,
-        forward_latency=forward_latency,
-        launching=launching,
-        stealing=stealing,
-        prefetching=prefetching,
-        trigger_pcs=trigger_pcs,
-        hinted_pcs=hinted_pcs,
-    )
-    counters: List[Tuple[int, int, int]] = []
-    try:
-        for start, end in blocks:
-            counters.append(_emit_timing_block(decoded, start, end, ctx, lines))
-    except _Unsupported:
-        return None
-    compiled = _finish(lines, blocks, counters, filename)
-    if compiled is not None:
-        _memo_put(cache_key, compiled)
-        if cache is not None:
-            compiled.cache_key = cache_key
-            cache.store(
-                cache_key,
-                compiled.source,
-                compiled.starts,
-                compiled.lengths,
-                compiled.loads,
-                compiled.stores,
-                compiled.branches,
-            )
-    return compiled
+        compiled = _finish(lines, blocks, counters, filename)
+        if compiled is not None:
+            _memo_put(cache_key, compiled)
+            if cache is not None:
+                compiled.cache_key = cache_key
+                cache.store(
+                    cache_key,
+                    compiled.source,
+                    compiled.starts,
+                    compiled.lengths,
+                    compiled.loads,
+                    compiled.stores,
+                    compiled.branches,
+                )
+        return compiled
 
 
 class _TimingCtx:

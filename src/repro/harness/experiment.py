@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.report import assert_clean, verification_enabled
 from repro.engine.functional import FunctionalResult, run_program
@@ -141,6 +141,38 @@ class ExperimentResult:
             "launches": float(self.preexec.pthread_launches),
             "static_pthreads": float(len(self.selection.pthreads)),
         }
+
+
+#: Pipeline stages in execution order, as a deadline check sees them.
+PIPELINE_STAGES = ("trace", "baseline", "selection", "timing", "validation")
+
+
+@dataclass
+class PartialExperimentResult:
+    """What a budget-cut experiment had finished when the deadline hit.
+
+    Soft-deadline semantics (the fuzz runner's pattern): the budget is
+    only consulted *between* stages, so every stage listed in
+    ``stages_completed`` ran to completion and its artifacts are in the
+    runner's caches — a retry with a larger budget resumes from there
+    for free.  ``next_stage`` is the stage the deadline prevented.
+    """
+
+    config: ExperimentConfig
+    next_stage: str
+    stages_completed: List[str] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+class ExperimentDeadlineError(RuntimeError):
+    """Raised when a per-request soft budget expires mid-pipeline."""
+
+    def __init__(self, partial: PartialExperimentResult) -> None:
+        super().__init__(
+            f"experiment budget exceeded before stage {partial.next_stage!r} "
+            f"(completed: {', '.join(partial.stages_completed) or 'none'})"
+        )
+        self.partial = partial
 
 
 class ExperimentRunner:
@@ -358,27 +390,59 @@ class ExperimentRunner:
             load_latency=workload.hierarchy.l1.hit_latency,
         )
 
-    def run(self, config: ExperimentConfig) -> ExperimentResult:
-        """Execute one experiment cell end to end."""
+    def run(
+        self,
+        config: ExperimentConfig,
+        deadline: Optional[float] = None,
+    ) -> ExperimentResult:
+        """Execute one experiment cell end to end.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant (the
+        caller's soft budget).  It is checked *between* stages only —
+        a stage that has started always finishes — and an expired
+        budget raises :class:`ExperimentDeadlineError` carrying a
+        :class:`PartialExperimentResult` of everything completed so far.
+        """
         timings: Dict[str, float] = {}
         tracer = get_tracer()
         with tracer.span(
             "experiment", workload=config.workload, input=config.input_name
         ):
-            return self._run_traced(config, timings, tracer)
+            return self._run_traced(config, timings, tracer, deadline)
+
+    @staticmethod
+    def _check_deadline(
+        deadline: Optional[float],
+        next_stage: str,
+        config: ExperimentConfig,
+        timings: Dict[str, float],
+    ) -> None:
+        if deadline is not None and time.monotonic() >= deadline:
+            done = [s for s in PIPELINE_STAGES if s in timings]
+            raise ExperimentDeadlineError(
+                PartialExperimentResult(
+                    config=config,
+                    next_stage=next_stage,
+                    stages_completed=done,
+                    timings=dict(timings),
+                )
+            )
 
     def _run_traced(
         self,
         config: ExperimentConfig,
         timings: Dict[str, float],
         tracer,
+        deadline: Optional[float] = None,
     ) -> ExperimentResult:
         workload = self.workload(
             config.workload, config.input_name, config.hierarchy
         )
+        self._check_deadline(deadline, "trace", config, timings)
         with tracer.span("trace") as trace_span:
             functional = self.trace(workload)
         timings["trace"] = trace_span.duration
+        self._check_deadline(deadline, "baseline", config, timings)
         with tracer.span("baseline") as base_span:
             base = self.baseline(workload, config.machine)
         timings["baseline"] = base_span.duration
@@ -405,6 +469,7 @@ class ExperimentRunner:
             profile_ipc = base.ipc
         params = self.model_params(config, workload, profile_ipc)
 
+        self._check_deadline(deadline, "selection", config, timings)
         schedule: Optional[Schedule] = None
         num_regions = 1
         with tracer.span("selection") as selection_span:
@@ -481,6 +546,7 @@ class ExperimentRunner:
                 )
             return sim.run(mode, max_instructions=self.max_instructions)
 
+        self._check_deadline(deadline, "timing", config, timings)
         with tracer.span("timing") as timing_span:
             preexec = simulate(PRE_EXECUTION)
         elapsed = timing_span.duration
@@ -492,6 +558,7 @@ class ExperimentRunner:
         )
         validation: Dict[str, SimStats] = {}
         if config.validate:
+            self._check_deadline(deadline, "validation", config, timings)
             with tracer.span("validation") as validation_span:
                 validation["overhead_execute"] = simulate(OVERHEAD_EXECUTE)
                 validation["overhead_sequence"] = simulate(OVERHEAD_SEQUENCE)

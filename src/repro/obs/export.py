@@ -94,6 +94,16 @@ AUXILIARY_METRICS: Dict[str, str] = {
     # Cross-model parity harness (repro.validation.parity).
     "parity.comparisons": "counter",
     "parity.divergences": "counter",
+    # Serve daemon (repro.serve).
+    "serve.requests.total": "counter",
+    "serve.requests.ok": "counter",
+    "serve.requests.errors": "counter",
+    "serve.requests.rejected": "counter",
+    "serve.requests.budget_exceeded": "counter",
+    "serve.requests.cache_hits": "counter",
+    "serve.queue.depth": "gauge",
+    "serve.batch.size": "histogram",
+    "serve.request.seconds": "histogram",
 }
 
 

@@ -25,9 +25,10 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 SPAN_SCHEMA_VERSION = 1
 
@@ -80,33 +81,52 @@ class Tracer:
 
     The tracer always has an implicit (unexported) root; top-level spans
     are the root's children.  ``clock`` is injectable for tests.
+
+    The stack of *open* spans is scoped with :mod:`contextvars`, not
+    stored on the instance: concurrent asyncio tasks (and threads, which
+    start from a fresh context) each see their own open-span chain, so
+    interleaved requests attach children to their own parents instead of
+    whichever span another task happens to have open.  The recorded tree
+    (``root`` and every ``Span.children`` list) is still shared — only
+    the notion of "currently open span" is per-context.
     """
 
     def __init__(self, clock=time.perf_counter) -> None:
         self._clock = clock
         self.root = Span("root")
-        self._stack: List[Span] = [self.root]
+        # Default () means "no open span in this context": current is root.
+        # The tuple is immutable, so a context copy (asyncio task spawn)
+        # can never mutate the parent context's view of the stack.
+        self._stack_var: ContextVar[Tuple[Span, ...]] = ContextVar(
+            "repro_tracer_stack", default=()
+        )
+
+    def _open_spans(self) -> Tuple[Span, ...]:
+        return self._stack_var.get()
 
     @property
     def current(self) -> Span:
-        return self._stack[-1]
+        stack = self._open_spans()
+        return stack[-1] if stack else self.root
 
     @property
     def depth(self) -> int:
         """Nesting depth of open spans (0 when only the root is open)."""
-        return len(self._stack) - 1
+        return len(self._open_spans())
 
     @contextmanager
     def span(self, name: str, **meta: Any) -> Iterator[Span]:
         node = Span(name, dict(meta))
-        self._stack[-1].children.append(node)
-        self._stack.append(node)
+        stack = self._open_spans()
+        parent = stack[-1] if stack else self.root
+        parent.children.append(node)
+        token = self._stack_var.set(stack + (node,))
         start = self._clock()
         try:
             yield node
         finally:
             node.duration += self._clock() - start
-            self._stack.pop()
+            self._stack_var.reset(token)
 
     def attach(self, payload: Dict[str, Any]) -> List[Span]:
         """Attach serialized spans (a worker's ``to_dict`` output, or a
@@ -115,7 +135,7 @@ class Tracer:
             spans = [Span.from_dict(item) for item in payload["spans"]]
         else:
             spans = [Span.from_dict(payload)]
-        self._stack[-1].children.extend(spans)
+        self.current.children.extend(spans)
         return spans
 
     def to_dict(self) -> Dict[str, Any]:

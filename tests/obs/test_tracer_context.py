@@ -1,0 +1,111 @@
+"""Context-isolation regressions for the span tracer.
+
+The tracer's open-span stack is a :class:`contextvars.ContextVar`, so
+concurrent asyncio tasks and worker threads each see their own stack.
+On the pre-fix implementation (one shared stack list) a span opened by
+task B while task A's span was still open would nest under A's span —
+these tests pin the interleavings that exposed that.
+"""
+
+import asyncio
+import threading
+
+from repro.obs import Tracer
+
+
+def test_interleaved_tasks_do_not_nest_under_each_other():
+    """B opens its span while A's span is open; both must be root children."""
+    tracer = Tracer()
+
+    async def main():
+        a_open = asyncio.Event()
+        a_release = asyncio.Event()
+
+        async def task_a():
+            with tracer.span("a"):
+                a_open.set()
+                await a_release.wait()
+
+        async def task_b():
+            await a_open.wait()
+            with tracer.span("b"):
+                pass
+            a_release.set()
+
+        await asyncio.gather(task_a(), task_b())
+
+    asyncio.run(main())
+    assert sorted(span.name for span in tracer.root.children) == ["a", "b"]
+    by_name = {span.name: span for span in tracer.root.children}
+    assert by_name["a"].children == []
+    assert by_name["b"].children == []
+
+
+def test_concurrent_tasks_keep_their_own_nesting():
+    tracer = Tracer()
+
+    async def task(name):
+        with tracer.span(name):
+            await asyncio.sleep(0)
+            with tracer.span(f"{name}.inner"):
+                await asyncio.sleep(0)
+
+    async def main():
+        await asyncio.gather(task("a"), task("b"))
+
+    asyncio.run(main())
+    assert sorted(span.name for span in tracer.root.children) == ["a", "b"]
+    for span in tracer.root.children:
+        assert [child.name for child in span.children] == [f"{span.name}.inner"]
+
+
+def test_threads_get_independent_stacks():
+    """Two threads hold spans open simultaneously without cross-nesting."""
+    tracer = Tracer()
+    barrier = threading.Barrier(2)
+    errors = []
+
+    def work(name):
+        try:
+            barrier.wait()
+            with tracer.span(name):
+                barrier.wait()  # both outer spans are open right now
+                with tracer.span(f"{name}.inner"):
+                    pass
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=work, args=(f"t{index}",)) for index in (0, 1)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    assert sorted(span.name for span in tracer.root.children) == ["t0", "t1"]
+    for span in tracer.root.children:
+        assert [child.name for child in span.children] == [f"{span.name}.inner"]
+
+
+def test_depth_is_per_context():
+    """A worker thread's open span is invisible to the main context."""
+    tracer = Tracer()
+    opened = threading.Event()
+    release = threading.Event()
+
+    def work():
+        with tracer.span("worker"):
+            opened.set()
+            release.wait()
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    opened.wait()
+    try:
+        assert tracer.depth == 0
+        assert tracer.current is tracer.root
+    finally:
+        release.set()
+        thread.join()
+    assert [span.name for span in tracer.root.children] == ["worker"]
